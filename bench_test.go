@@ -1,0 +1,247 @@
+package mcmgpu
+
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation, each driving the same experiment code as cmd/experiments, plus
+// ablation benchmarks for the design choices DESIGN.md calls out.
+//
+// Benchmarks run the experiments at a reduced workload scale so the full
+// sweep finishes in minutes; the shape-defining numbers (speedups, bandwidth
+// ratios) are stable under scaling and are emitted as custom metrics.
+// Regenerate the full-size tables with:
+//
+//	go run ./cmd/experiments -exp all
+
+import (
+	"strconv"
+	"testing"
+
+	"mcmgpu/internal/config"
+)
+
+// benchOpts trades precision for benchmark runtime.
+func benchOpts() Options {
+	return Options{Scale: 0.15, MaxPerCategory: 3}
+}
+
+// benchExperiment runs one experiment driver per iteration.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	driver, ok := Experiments()[id]
+	if !ok {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	opt := benchOpts()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tbl, err := driver(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tbl.Rows) == 0 {
+			b.Fatalf("experiment %s produced no rows", id)
+		}
+	}
+}
+
+func BenchmarkTable1(b *testing.B) { benchExperiment(b, "table1") }
+func BenchmarkTable2(b *testing.B) { benchExperiment(b, "table2") }
+func BenchmarkTable3(b *testing.B) { benchExperiment(b, "table3") }
+func BenchmarkTable4(b *testing.B) { benchExperiment(b, "table4") }
+
+// BenchmarkAnalytic exercises the Section 3.3.1 closed-form model.
+func BenchmarkAnalytic(b *testing.B) { benchExperiment(b, "analytic") }
+
+func BenchmarkFig2(b *testing.B)  { benchExperiment(b, "fig2") }
+func BenchmarkFig4(b *testing.B)  { benchExperiment(b, "fig4") }
+func BenchmarkFig6(b *testing.B)  { benchExperiment(b, "fig6") }
+func BenchmarkFig7(b *testing.B)  { benchExperiment(b, "fig7") }
+func BenchmarkFig9(b *testing.B)  { benchExperiment(b, "fig9") }
+func BenchmarkFig10(b *testing.B) { benchExperiment(b, "fig10") }
+func BenchmarkFig13(b *testing.B) { benchExperiment(b, "fig13") }
+func BenchmarkFig14(b *testing.B) { benchExperiment(b, "fig14") }
+func BenchmarkFig15(b *testing.B) { benchExperiment(b, "fig15") }
+func BenchmarkFig16(b *testing.B) { benchExperiment(b, "fig16") }
+func BenchmarkFig17(b *testing.B) { benchExperiment(b, "fig17") }
+
+// BenchmarkHeadline reproduces the abstract's comparisons and reports the
+// measured optimized-vs-baseline speedup as a custom metric.
+func BenchmarkHeadline(b *testing.B) {
+	opt := benchOpts()
+	var speedup float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		base, err := runSuite(config.BaselineMCM(), opt.suite(), opt.scale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		optRes, err := runSuite(config.OptimizedMCM(), opt.suite(), opt.scale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		speedup = geomeanSpeedup(base, optRes, opt.suite())
+	}
+	b.ReportMetric(speedup, "speedup/baseline")
+}
+
+// BenchmarkSimulatorThroughput measures raw simulation speed: simulated warp
+// memory operations per wall-clock second on the baseline machine.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	spec := MustWorkload("MiniAMR").Scaled(0.25)
+	b.ResetTimer()
+	var ops uint64
+	for i := 0; i < b.N; i++ {
+		res, err := Run(BaselineMCM(), spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ops += res.MemOps
+	}
+	b.ReportMetric(float64(ops)/b.Elapsed().Seconds(), "memops/s")
+}
+
+// --- Ablation benchmarks for DESIGN.md's called-out design choices ---
+
+// BenchmarkAblationCTAChunk sweeps the distributed scheduler's chunk
+// granularity. The paper uses one contiguous chunk per GPM and notes a
+// dynamic granularity could do better; finer chunks trade locality for
+// balance.
+func BenchmarkAblationCTAChunk(b *testing.B) {
+	spec := MustWorkload("CoMD").Scaled(0.25)
+	for _, chunks := range []int{1, 2, 4, 8} {
+		cfg := config.OptimizedMCM()
+		cfg.CTAChunksPerModule = chunks
+		b.Run(benchName("chunks", chunks), func(b *testing.B) {
+			var cycles uint64
+			for i := 0; i < b.N; i++ {
+				res, err := Run(cfg.Clone(), spec)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cycles = res.Cycles
+			}
+			b.ReportMetric(float64(cycles), "sim-cycles")
+		})
+	}
+}
+
+// BenchmarkAblationTopology compares the paper's ring against a fully
+// connected crossbar with the same per-GPM attachment bandwidth.
+func BenchmarkAblationTopology(b *testing.B) {
+	spec := MustWorkload("SSSP").Scaled(0.25)
+	for _, topo := range []config.TopologyKind{config.TopoRing, config.TopoCrossbar} {
+		cfg := config.BaselineMCM()
+		cfg.Topology = topo
+		b.Run(topo.String(), func(b *testing.B) {
+			var cycles uint64
+			for i := 0; i < b.N; i++ {
+				res, err := Run(cfg.Clone(), spec)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cycles = res.Cycles
+			}
+			b.ReportMetric(float64(cycles), "sim-cycles")
+		})
+	}
+}
+
+// BenchmarkAblationHeaderBytes sweeps request/response header overhead on
+// the inter-GPM links.
+func BenchmarkAblationHeaderBytes(b *testing.B) {
+	spec := MustWorkload("SSSP").Scaled(0.25)
+	for _, hdr := range []int{0, 32, 64} {
+		cfg := config.BaselineMCM()
+		cfg.Link.ReqHeaderBytes = hdr
+		cfg.Link.RespHeaderBytes = hdr
+		b.Run(benchName("hdr", hdr), func(b *testing.B) {
+			var bw float64
+			for i := 0; i < b.N; i++ {
+				res, err := Run(cfg.Clone(), spec)
+				if err != nil {
+					b.Fatal(err)
+				}
+				bw = res.InterModuleGBps
+			}
+			b.ReportMetric(bw, "interGPM-GBps")
+		})
+	}
+}
+
+// BenchmarkAblationL15Policy isolates remote-only vs allocate-all on an
+// irregular workload (the Section 5.1.2 design decision).
+func BenchmarkAblationL15Policy(b *testing.B) {
+	spec := MustWorkload("SSSP").Scaled(0.25)
+	for _, pol := range []config.AllocPolicy{config.AllocRemoteOnly, config.AllocAll} {
+		cfg := config.WithL15(config.BaselineMCM(), 16*MB, pol)
+		b.Run(pol.String(), func(b *testing.B) {
+			var cycles uint64
+			for i := 0; i < b.N; i++ {
+				res, err := Run(cfg.Clone(), spec)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cycles = res.Cycles
+			}
+			b.ReportMetric(float64(cycles), "sim-cycles")
+		})
+	}
+}
+
+// BenchmarkAblationPageSize sweeps the first-touch page granularity; large
+// pages at scaled footprints suffer first-touch races at chunk boundaries
+// (see DESIGN.md's substitution notes).
+func BenchmarkAblationPageSize(b *testing.B) {
+	spec := MustWorkload("CFD").Scaled(0.25)
+	for _, page := range []int{4 * KB, 16 * KB, 64 * KB} {
+		cfg := config.OptimizedMCM()
+		cfg.PageBytes = page
+		b.Run(benchName("page", page/KB), func(b *testing.B) {
+			var local float64
+			for i := 0; i < b.N; i++ {
+				res, err := Run(cfg.Clone(), spec)
+				if err != nil {
+					b.Fatal(err)
+				}
+				local = res.LocalFraction
+			}
+			b.ReportMetric(local*100, "local-%")
+		})
+	}
+}
+
+func benchName(prefix string, v int) string {
+	return prefix + "-" + strconv.Itoa(v)
+}
+
+// BenchmarkAblationDynamicScheduler compares the paper's static distributed
+// scheduler against the dynamic (tail-stealing) extension it suggests as
+// future work, on a workload whose CTAs perform unequal amounts of work.
+func BenchmarkAblationDynamicScheduler(b *testing.B) {
+	// Stealing only matters when CTAs outnumber machine residency (multiple
+	// waves) and perform unequal work, so the ablation uses a multi-wave,
+	// heavily imbalanced kernel rather than a suite workload.
+	spec := &Spec{
+		Name: "imbalanced-sweep", Category: MemoryIntensive,
+		Pattern: MustWorkload("MST").Pattern,
+		CTAs:    16384, WarpsPerCTA: 4, // 4 waves on 16384 warp slots
+		MemOpsPerWarp: 4, ComputePerMem: 12, KernelIters: 1,
+		FootprintLines: 65536, LinesPerOp: 2,
+		RandomFraction: 0.2, ScatterLines: 8192,
+		WorkImbalance: 0.9, Seed: 7,
+	}
+	for _, sched := range []config.SchedulerKind{config.SchedDistributed, config.SchedDynamic} {
+		cfg := config.OptimizedMCM()
+		cfg.Scheduler = sched
+		b.Run(sched.String(), func(b *testing.B) {
+			var cycles uint64
+			for i := 0; i < b.N; i++ {
+				res, err := Run(cfg.Clone(), spec)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cycles = res.Cycles
+			}
+			b.ReportMetric(float64(cycles), "sim-cycles")
+		})
+	}
+}

@@ -1,0 +1,120 @@
+// Command experiments regenerates the tables and figures of the paper's
+// evaluation section. Each experiment prints the same rows or series the
+// paper reports, with a note quoting the paper's published result.
+//
+// Usage:
+//
+//	experiments -exp fig4                # one experiment
+//	experiments -exp all -scale 0.5      # everything, half-size workloads
+//	experiments -exp fig15 -csv          # CSV for plotting
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"time"
+
+	"mcmgpu"
+	"mcmgpu/internal/report"
+)
+
+// renderBars draws one bar chart per numeric column of the table, labeled
+// by the first column.
+func renderBars(t *mcmgpu.Table) {
+	drew := false
+	for col := 1; col < len(t.Headers); col++ {
+		numeric := len(t.Rows) > 0
+		for _, row := range t.Rows {
+			if _, err := strconv.ParseFloat(row[col], 64); err != nil {
+				numeric = false
+				break
+			}
+		}
+		if !numeric {
+			continue
+		}
+		b, err := report.BarsFromTable(t, 0, col, "")
+		if err != nil {
+			continue
+		}
+		b.Title = fmt.Sprintf("%s — %s", t.Title, t.Headers[col])
+		if err := b.WriteText(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		fmt.Println()
+		drew = true
+	}
+	if !drew {
+		// Nothing numeric to draw; fall back to the table.
+		if err := t.WriteText(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+func main() {
+	var (
+		exp   = flag.String("exp", "headline", "experiment id (table1..4, analytic, fig2..fig17, headline, all)")
+		scale = flag.Float64("scale", 1.0, "workload scale factor")
+		max   = flag.Int("max", 0, "limit workloads per category (0 = all)")
+		csv   = flag.Bool("csv", false, "emit CSV instead of text")
+		bars  = flag.Bool("bars", false, "render numeric columns as ASCII bar charts")
+		list  = flag.Bool("list", false, "list experiment ids")
+	)
+	flag.Parse()
+
+	drivers := mcmgpu.Experiments()
+	ids := make([]string, 0, len(drivers))
+	for id := range drivers {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+
+	if *list {
+		for _, id := range ids {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	opt := mcmgpu.Options{Scale: *scale, MaxPerCategory: *max}
+	var run []string
+	if *exp == "all" {
+		run = ids
+	} else {
+		if _, ok := drivers[*exp]; !ok {
+			fmt.Fprintf(os.Stderr, "experiments: unknown id %q (have %v)\n", *exp, ids)
+			os.Exit(1)
+		}
+		run = []string{*exp}
+	}
+
+	for _, id := range run {
+		start := time.Now()
+		t, err := drivers[id](opt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		if *csv {
+			if err := t.WriteCSV(os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+				os.Exit(1)
+			}
+		} else if *bars {
+			renderBars(t)
+			fmt.Printf("[%s in %v]\n\n", id, time.Since(start).Round(time.Millisecond))
+		} else {
+			if err := t.WriteText(os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("[%s in %v]\n\n", id, time.Since(start).Round(time.Millisecond))
+		}
+	}
+}

@@ -1,0 +1,189 @@
+// Command mcmsim runs one workload on one simulated GPU system and prints
+// its statistics. It is the low-level entry point; cmd/experiments
+// regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	mcmsim -system mcm-baseline -workload Stream
+//	mcmsim -system mcm-optimized -workload all -scale 0.5
+//	mcmsim -config machine.json -workload CoMD -json
+//	mcmsim -dump-config mcm-optimized      # write a preset as JSON
+//	mcmsim -list
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"mcmgpu/internal/config"
+	"mcmgpu/internal/core"
+	"mcmgpu/internal/report"
+	"mcmgpu/internal/trace"
+	"mcmgpu/internal/workload"
+)
+
+// systems maps CLI names to configuration presets.
+var systems = map[string]func() *config.Config{
+	"mcm-baseline":       config.BaselineMCM,
+	"mcm-optimized":      config.OptimizedMCM,
+	"mcm-optimized-16mb": config.OptimizedMCM16,
+	"mono-128":           config.LargestBuildableMonolithic,
+	"mono-256":           config.UnbuildableMonolithic,
+	"multi-gpu":          config.MultiGPUBaseline,
+	"multi-gpu-opt":      config.MultiGPUOptimized,
+}
+
+func main() {
+	var (
+		system = flag.String("system", "mcm-baseline", "system preset to simulate")
+		app    = flag.String("workload", "Stream", "workload name, a category (m-intensive, c-intensive, limited), or 'all'")
+		scale  = flag.Float64("scale", 1.0, "work scale factor (trades fidelity for speed)")
+		list   = flag.Bool("list", false, "list systems and workloads, then exit")
+		linkBW = flag.Float64("link", 0, "override inter-GPM link bandwidth in GB/s")
+		v      = flag.Bool("v", false, "verbose per-run detail")
+		char   = flag.Bool("characterize", false, "characterize the selected workloads' access streams instead of simulating")
+		cfgF   = flag.String("config", "", "load the machine from a JSON file instead of -system")
+		dump   = flag.String("dump-config", "", "print the named system preset as JSON and exit")
+		asJSON = flag.Bool("json", false, "emit results as JSON")
+	)
+	flag.Parse()
+
+	if *dump != "" {
+		mk, ok := systems[*dump]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "mcmsim: unknown system %q\n", *dump)
+			os.Exit(1)
+		}
+		if err := mk().WriteJSON(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "mcmsim:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *list {
+		fmt.Println("systems:")
+		for name := range systems {
+			fmt.Printf("  %s\n", name)
+		}
+		fmt.Println("workloads:")
+		for _, n := range workload.Names() {
+			fmt.Printf("  %s\n", n)
+		}
+		return
+	}
+
+	var cfg *config.Config
+	if *cfgF != "" {
+		var err error
+		if cfg, err = config.LoadFile(*cfgF); err != nil {
+			fmt.Fprintln(os.Stderr, "mcmsim:", err)
+			os.Exit(1)
+		}
+	} else {
+		mk, ok := systems[*system]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "mcmsim: unknown system %q\n", *system)
+			os.Exit(1)
+		}
+		cfg = mk()
+	}
+	if *linkBW > 0 {
+		cfg.Link.GBps = *linkBW
+		cfg.Name = fmt.Sprintf("%s@%.0fGB/s", cfg.Name, *linkBW)
+	}
+
+	specs, err := selectWorkloads(*app)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mcmsim:", err)
+		os.Exit(1)
+	}
+
+	if *char {
+		if err := characterize(specs, *scale); err != nil {
+			fmt.Fprintln(os.Stderr, "mcmsim:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	for _, spec := range specs {
+		run := spec
+		if *scale != 1.0 {
+			run = spec.Scaled(*scale)
+		}
+		m, err := core.New(cfg.Clone())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mcmsim:", err)
+			os.Exit(1)
+		}
+		res, err := m.Run(run)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mcmsim:", err)
+			os.Exit(1)
+		}
+		if *asJSON {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(res); err != nil {
+				fmt.Fprintln(os.Stderr, "mcmsim:", err)
+				os.Exit(1)
+			}
+			continue
+		}
+		fmt.Println(res)
+		if *v {
+			fmt.Printf("  instrs=%d memops=%d reads=%d writes=%d\n",
+				res.WarpInstrs, res.MemOps, res.LineReads, res.LineWrites)
+			fmt.Printf("  L1=%.3f L1.5=%.3f L2=%.3f dramBytes=%d dramUtil avg=%.2f peak=%.2f linkUtil=%.2f pages=%d\n",
+				res.L1HitRate, res.L15HitRate, res.L2HitRate, res.DRAMBytes,
+				res.AvgDRAMUtil, res.PeakDRAMUtil, res.MaxLinkUtil, res.MappedPages)
+			e := res.EnergyPJ
+			fmt.Printf("  energy(pJ): chip=%.0f package=%.0f board=%.0f dram=%.0f total=%.0f\n",
+				e.Chip, e.Package, e.Board, e.DRAM, e.Total)
+		}
+	}
+}
+
+// characterize records one kernel launch of each workload and prints its
+// access-stream statistics.
+func characterize(specs []*workload.Spec, scale float64) error {
+	t := report.New("Workload characterization (one kernel launch)",
+		"Workload", "Category", "Pattern", "Ops", "Unique lines", "Footprint (MB)", "Write frac", "Reuse")
+	for _, spec := range specs {
+		run := spec
+		if scale != 1.0 {
+			run = spec.Scaled(scale)
+		}
+		tr, err := trace.Record(run)
+		if err != nil {
+			return err
+		}
+		s := tr.Summarize()
+		t.AddRowF(spec.Name, spec.Category.String(), spec.Pattern.String(),
+			s.Ops, s.UniqueLines, s.FootprintMB, s.WriteFraction, s.ReuseFactor)
+	}
+	return t.WriteText(os.Stdout)
+}
+
+// selectWorkloads resolves the -workload flag value to specs.
+func selectWorkloads(sel string) ([]*workload.Spec, error) {
+	switch strings.ToLower(sel) {
+	case "all":
+		return workload.Suite(), nil
+	case "m-intensive":
+		return workload.MIntensive(), nil
+	case "c-intensive":
+		return workload.CIntensive(), nil
+	case "limited":
+		return workload.Limited(), nil
+	}
+	s, err := workload.ByName(sel)
+	if err != nil {
+		return nil, err
+	}
+	return []*workload.Spec{s}, nil
+}

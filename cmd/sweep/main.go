@@ -1,0 +1,158 @@
+// Command sweep runs a two-dimensional design-space sweep over inter-GPM
+// link bandwidth and L1.5 capacity — the two hardware levers Sections 3.3
+// and 5.1 of the paper negotiate — and emits a CSV grid of geomean speedups
+// over the baseline MCM-GPU. It answers the practical question the paper's
+// conclusion implies: how much link bandwidth can architectural locality
+// buy back?
+//
+// Usage:
+//
+//	sweep                                # default grid, all workloads
+//	sweep -links 384,768,1536 -l15 0,8,16 -scale 0.5
+//	sweep -workloads m-intensive -csv out.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"mcmgpu"
+	"mcmgpu/internal/config"
+	"mcmgpu/internal/stats"
+	"mcmgpu/internal/workload"
+)
+
+func main() {
+	var (
+		links  = flag.String("links", "384,768,1536,3072", "comma-separated inter-GPM link bandwidths (GB/s)")
+		l15s   = flag.String("l15", "0,8,16", "comma-separated total L1.5 capacities (MB, 0 = none)")
+		wl     = flag.String("workloads", "all", "workload selection (all, m-intensive, c-intensive, limited)")
+		scale  = flag.Float64("scale", 1.0, "workload scale factor")
+		opts   = flag.Bool("optimized", true, "apply distributed scheduling + first touch at every grid point")
+		csvOut = flag.String("csv", "", "write CSV to this file instead of stdout")
+	)
+	flag.Parse()
+
+	linkVals, err := parseFloats(*links)
+	if err != nil {
+		fail(err)
+	}
+	l15Vals, err := parseInts(*l15s)
+	if err != nil {
+		fail(err)
+	}
+	specs, err := selectWorkloads(*wl)
+	if err != nil {
+		fail(err)
+	}
+
+	base, err := runAll(config.BaselineMCM(), specs, *scale)
+	if err != nil {
+		fail(err)
+	}
+
+	out := os.Stdout
+	if *csvOut != "" {
+		f, err := os.Create(*csvOut)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		out = f
+	}
+
+	fmt.Fprintf(out, "l15MB\\linkGBps")
+	for _, l := range linkVals {
+		fmt.Fprintf(out, ",%g", l)
+	}
+	fmt.Fprintln(out)
+
+	for _, mb := range l15Vals {
+		fmt.Fprintf(out, "%d", mb)
+		for _, link := range linkVals {
+			cfg := config.MCMWithLink(link)
+			if mb > 0 {
+				keep := cfg.Link.GBps
+				cfg = config.WithL15(cfg, mb*config.MB, config.AllocRemoteOnly)
+				cfg.Link.GBps = keep
+			}
+			if *opts {
+				cfg.Scheduler = config.SchedDistributed
+				cfg.Placement = config.PlaceFirstTouch
+			}
+			cfg.Name = fmt.Sprintf("sweep-l15%dMB-link%g", mb, link)
+			rs, err := runAll(cfg, specs, *scale)
+			if err != nil {
+				fail(err)
+			}
+			var sp []float64
+			for name, r := range rs {
+				sp = append(sp, r.SpeedupOver(base[name]))
+			}
+			fmt.Fprintf(out, ",%.4f", stats.GeoMean(sp))
+		}
+		fmt.Fprintln(out)
+	}
+}
+
+func runAll(cfg *config.Config, specs []*workload.Spec, scale float64) (map[string]*mcmgpu.Result, error) {
+	out := make(map[string]*mcmgpu.Result, len(specs))
+	for _, s := range specs {
+		r, err := mcmgpu.RunScaled(cfg.Clone(), s, scale)
+		if err != nil {
+			return nil, fmt.Errorf("%s on %s: %w", s.Name, cfg.Name, err)
+		}
+		out[s.Name] = r
+	}
+	return out, nil
+}
+
+func selectWorkloads(sel string) ([]*workload.Spec, error) {
+	switch strings.ToLower(sel) {
+	case "all":
+		return workload.Suite(), nil
+	case "m-intensive":
+		return workload.MIntensive(), nil
+	case "c-intensive":
+		return workload.CIntensive(), nil
+	case "limited":
+		return workload.Limited(), nil
+	}
+	s, err := workload.ByName(sel)
+	if err != nil {
+		return nil, err
+	}
+	return []*workload.Spec{s}, nil
+}
+
+func parseFloats(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return nil, fmt.Errorf("sweep: bad value %q: %w", part, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("sweep: bad value %q: %w", part, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "sweep:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,57 @@
+package mcmgpu_test
+
+import (
+	"fmt"
+	"log"
+
+	"mcmgpu"
+)
+
+// Running one workload on the paper's proposed design and its baseline.
+func Example() {
+	spec := mcmgpu.MustWorkload("CoMD")
+	base, err := mcmgpu.RunScaled(mcmgpu.BaselineMCM(), spec, 0.25)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opt, err := mcmgpu.RunScaled(mcmgpu.OptimizedMCM(), spec, 0.25)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if mcmgpu.Speedup(base, opt) > 1 {
+		fmt.Println("the optimized MCM-GPU is faster")
+	}
+	// Output: the optimized MCM-GPU is faster
+}
+
+// Building a custom machine: the baseline MCM-GPU with first-touch
+// placement only, to isolate one mechanism.
+func Example_customConfig() {
+	cfg := mcmgpu.BaselineMCM()
+	cfg.Placement = mcmgpu.PlaceFirstTouch
+	cfg.Name = "mcm+ft-only"
+
+	res, err := mcmgpu.RunScaled(cfg, mcmgpu.MustWorkload("CFD"), 0.25)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.Config)
+	// Output: mcm+ft-only
+}
+
+// Regenerating one of the paper's figures at reduced scale.
+func Example_experiment() {
+	tbl, err := mcmgpu.Fig4(mcmgpu.Options{Scale: 0.1, MaxPerCategory: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(len(tbl.Rows), "link-bandwidth settings")
+	// Output: 5 link-bandwidth settings
+}
+
+// The Section 3.3.1 closed-form link sizing model.
+func ExampleAnalyticModel() {
+	m := mcmgpu.PaperAnalyticExample()
+	fmt.Printf("required link: %.0f GB/s\n", m.RequiredLinkGBps())
+	// Output: required link: 3072 GB/s
+}

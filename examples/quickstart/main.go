@@ -1,0 +1,45 @@
+// Quickstart: build the paper's two headline systems, run one workload on
+// each, and compare.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mcmgpu"
+)
+
+func main() {
+	// Pick a memory-intensive workload from the paper's Table 4 suite.
+	stream := mcmgpu.MustWorkload("Stream")
+
+	// The Table 3 baseline: 4 GPMs x 64 SMs, 3 TB/s DRAM, 768 GB/s ring,
+	// centralized CTA scheduling, fine-grain interleaved pages.
+	baseline, err := mcmgpu.Run(mcmgpu.BaselineMCM(), stream)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The proposed design: remote-only GPM-side L1.5 cache, distributed CTA
+	// scheduling, first-touch page placement.
+	optimized, err := mcmgpu.Run(mcmgpu.OptimizedMCM(), stream)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("baseline :", baseline)
+	fmt.Println("optimized:", optimized)
+	fmt.Printf("speedup: %.2fx\n", mcmgpu.Speedup(baseline, optimized))
+	if optimized.InterModuleGBps > 0 {
+		fmt.Printf("inter-GPM traffic: %.0f -> %.0f GB/s (%.1fx reduction)\n",
+			baseline.InterModuleGBps, optimized.InterModuleGBps,
+			baseline.InterModuleGBps/optimized.InterModuleGBps)
+	} else {
+		fmt.Printf("inter-GPM traffic: %.0f GB/s -> ~0 (fully localized)\n",
+			baseline.InterModuleGBps)
+	}
+	fmt.Printf("locality: %.0f%% -> %.0f%% of post-L1 accesses homed locally\n",
+		baseline.LocalFraction*100, optimized.LocalFraction*100)
+}

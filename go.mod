@@ -1,0 +1,3 @@
+module mcmgpu
+
+go 1.22

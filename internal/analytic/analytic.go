@@ -1,0 +1,89 @@
+// Package analytic implements the closed-form on-package bandwidth model of
+// Section 3.3.1: how much inter-GPM link bandwidth an MCM-GPU needs so the
+// on-package network never throttles its aggregate DRAM bandwidth.
+//
+// The paper's reasoning for a G-module machine whose local partitions each
+// provide b of DRAM bandwidth: with an average memory-side L2 hit rate of h,
+// each partition's memory system supplies b/(1-h) of data bandwidth when its
+// DRAM is saturated (2b in the paper's h=0.5 example). Under a statistically
+// uniform address distribution, a fraction (G-1)/G of all delivered data is
+// homed remotely and crosses the package. Sizing links so that expensive
+// DRAM bandwidth is never the throttled resource — for any placement, not
+// just the uniform average — requires a per-GPM link attachment equal to the
+// aggregate DRAM bandwidth G*b: 3 TB/s for the paper's 4-GPM, 768 GB/s per
+// partition example. Settings above that yield no additional performance;
+// settings below expose NUMA throttling on the remote share of traffic.
+package analytic
+
+import "fmt"
+
+// Model holds the parameters of the Section 3.3.1 estimate.
+type Model struct {
+	Modules        int     // G: number of GPMs
+	PartitionGBps  float64 // b: DRAM bandwidth local to one GPM
+	L2HitRate      float64 // h: average memory-side cache hit rate
+	RemoteFraction float64 // fraction of traffic homed remotely; <0 means uniform (G-1)/G
+}
+
+// PaperExample returns the parameters used in the paper's walkthrough:
+// a 4-GPM system with 3 TB/s aggregate DRAM and a ~50% L2 hit rate.
+func PaperExample() Model {
+	return Model{Modules: 4, PartitionGBps: 768, L2HitRate: 0.5, RemoteFraction: -1}
+}
+
+// remoteFraction resolves the remote traffic fraction.
+func (m Model) remoteFraction() float64 {
+	if m.RemoteFraction >= 0 {
+		return m.RemoteFraction
+	}
+	return float64(m.Modules-1) / float64(m.Modules)
+}
+
+// AggregateDRAMGBps returns G*b, the machine's total DRAM bandwidth.
+func (m Model) AggregateDRAMGBps() float64 {
+	return float64(m.Modules) * m.PartitionGBps
+}
+
+// DeliveredPerPartitionGBps returns the data bandwidth one partition's
+// memory system (L2 + DRAM) can deliver with its DRAM saturated: b/(1-h),
+// the "2b units of bandwidth supplied from each L2 cache partition" of the
+// paper's example.
+func (m Model) DeliveredPerPartitionGBps() float64 {
+	if m.L2HitRate >= 1 {
+		return m.PartitionGBps * 1e6 // effectively unbounded; avoid Inf in reports
+	}
+	return m.PartitionGBps / (1 - m.L2HitRate)
+}
+
+// TotalInterGPMGBps returns the steady-state traffic crossing the package
+// under the uniform-distribution scenario: the remote share of everything
+// the partitions deliver.
+func (m Model) TotalInterGPMGBps() float64 {
+	return m.DeliveredPerPartitionGBps() * float64(m.Modules) * m.remoteFraction()
+}
+
+// RequiredLinkGBps returns the per-GPM link bandwidth needed so on-package
+// links never throttle DRAM utilization: the aggregate DRAM bandwidth G*b
+// (the paper's "link bandwidth of 4b" conclusion, 3 TB/s in the example).
+func (m Model) RequiredLinkGBps() float64 {
+	return m.AggregateDRAMGBps()
+}
+
+// Slowdown estimates the throughput factor (<= 1) achieved with the given
+// per-GPM link bandwidth. Remote traffic is throttled in proportion to the
+// link shortfall; local traffic is unaffected, so the floor is the local
+// fraction.
+func (m Model) Slowdown(linkGBps float64) float64 {
+	need := m.RequiredLinkGBps()
+	if need <= 0 || linkGBps >= need {
+		return 1
+	}
+	rf := m.remoteFraction()
+	return (1 - rf) + rf*(linkGBps/need)
+}
+
+// String renders the model parameters and its conclusion.
+func (m Model) String() string {
+	return fmt.Sprintf("G=%d b=%.0fGB/s h=%.2f remote=%.2f -> need %.0f GB/s per link",
+		m.Modules, m.PartitionGBps, m.L2HitRate, m.remoteFraction(), m.RequiredLinkGBps())
+}

@@ -1,0 +1,94 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPaperExample(t *testing.T) {
+	m := PaperExample()
+	// "2b units of bandwidth would be supplied from each L2 cache partition"
+	if got := m.DeliveredPerPartitionGBps(); got != 1536 {
+		t.Errorf("delivered per partition = %v, want 1536 (2b)", got)
+	}
+	// "A link bandwidth of 4b would be necessary to provide 4b total DRAM
+	// bandwidth" -> 3 TB/s.
+	if got := m.RequiredLinkGBps(); got != 3072 {
+		t.Errorf("required link = %v, want 3072 (4b = 3 TB/s)", got)
+	}
+	if got := m.AggregateDRAMGBps(); got != 3072 {
+		t.Errorf("aggregate DRAM = %v, want 3072", got)
+	}
+	// Uniform remote fraction is 3/4 for 4 GPMs.
+	if got := m.remoteFraction(); got != 0.75 {
+		t.Errorf("remote fraction = %v, want 0.75", got)
+	}
+}
+
+func TestSlowdownShape(t *testing.T) {
+	m := PaperExample()
+	// "link bandwidth settings of less than 3TB/s are expected to result in
+	// performance degradation ... greater than 3TB/s are not expected to
+	// yield any additional performance."
+	if got := m.Slowdown(6144); got != 1 {
+		t.Errorf("6 TB/s slowdown = %v, want 1 (no benefit beyond the knee)", got)
+	}
+	if got := m.Slowdown(3072); got != 1 {
+		t.Errorf("3 TB/s slowdown = %v, want 1 (the knee)", got)
+	}
+	s1536 := m.Slowdown(1536)
+	s768 := m.Slowdown(768)
+	s384 := m.Slowdown(384)
+	if !(s1536 > s768 && s768 > s384) {
+		t.Errorf("slowdowns not monotone: %v %v %v", s1536, s768, s384)
+	}
+	// The floor is the local fraction: even a vanishing link leaves local
+	// traffic flowing.
+	if got := m.Slowdown(0.001); got < 0.25-1e-9 {
+		t.Errorf("slowdown floor = %v, want >= 0.25", got)
+	}
+}
+
+func TestRemoteFractionOverride(t *testing.T) {
+	m := PaperExample()
+	m.RemoteFraction = 0.1 // e.g. after first-touch placement
+	if got := m.remoteFraction(); got != 0.1 {
+		t.Fatalf("override ignored: %v", got)
+	}
+	// With 10% remote traffic, a 768 GB/s link costs little.
+	if got := m.Slowdown(768); got < 0.9 {
+		t.Errorf("slowdown with localized traffic = %v, want > 0.9", got)
+	}
+}
+
+func TestFullHitRateDoesNotOverflow(t *testing.T) {
+	m := PaperExample()
+	m.L2HitRate = 1
+	if v := m.DeliveredPerPartitionGBps(); math.IsInf(v, 0) || math.IsNaN(v) {
+		t.Fatalf("delivered = %v", v)
+	}
+}
+
+func TestStringMentionsConclusion(t *testing.T) {
+	s := PaperExample().String()
+	if s == "" {
+		t.Fatalf("empty String")
+	}
+}
+
+// Property: slowdown is in (0, 1], monotone nondecreasing in link bandwidth.
+func TestSlowdownMonotoneProperty(t *testing.T) {
+	f := func(a, b uint16) bool {
+		m := PaperExample()
+		x, y := float64(a), float64(b)
+		if x > y {
+			x, y = y, x
+		}
+		sx, sy := m.Slowdown(x), m.Slowdown(y)
+		return sx > 0 && sy <= 1 && sx <= sy+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

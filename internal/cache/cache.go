@@ -1,0 +1,271 @@
+// Package cache implements the set-associative cache model shared by all
+// three levels of the MCM-GPU hierarchy: the per-SM L1, the module-side L1.5
+// introduced in Section 5.1 of the paper, and the memory-side L2.
+//
+// The model tracks full set/way state with true LRU replacement, so hit
+// rates, capacity effects of the iso-transistor L1.5/L2 rebalancing, and the
+// cost of flushing at kernel boundaries are measured rather than assumed.
+// Timing is handled by the caller; this package only answers hit/miss and
+// eviction questions.
+package cache
+
+import (
+	"fmt"
+	"math/bits"
+
+	"mcmgpu/internal/stats"
+)
+
+// Line state flags.
+const (
+	flagValid = 1 << iota
+	flagDirty
+)
+
+type line struct {
+	tag   uint64
+	flags uint8
+}
+
+// Cache is a set-associative cache with true LRU replacement.
+// Ways within a set are kept in recency order (index 0 = MRU), which is
+// cheap for the small associativities used here (4–16 ways).
+type Cache struct {
+	name      string
+	sets      [][]line
+	setMask   uint64
+	setShift  uint
+	ways      int
+	writeBack bool
+
+	reads      stats.Ratio
+	writes     stats.Ratio
+	evictions  stats.Counter
+	writebacks stats.Counter
+	flushes    stats.Counter
+}
+
+// New creates a cache holding the given number of lines with the given
+// associativity. The line count must yield a power-of-two set count.
+// Addresses passed to the cache are line addresses (byte address divided by
+// the line size); the cache itself is agnostic to the line size.
+func New(name string, lines, ways int, writeBack bool) *Cache {
+	if lines <= 0 || ways <= 0 || lines%ways != 0 {
+		panic(fmt.Sprintf("cache %q: bad geometry lines=%d ways=%d", name, lines, ways))
+	}
+	nSets := lines / ways
+	if nSets&(nSets-1) != 0 {
+		panic(fmt.Sprintf("cache %q: set count %d not a power of two", name, nSets))
+	}
+	sets := make([][]line, nSets)
+	backing := make([]line, lines)
+	for i := range sets {
+		sets[i] = backing[i*ways : (i+1)*ways : (i+1)*ways]
+	}
+	return &Cache{
+		name:      name,
+		sets:      sets,
+		setMask:   uint64(nSets - 1),
+		setShift:  uint(bits.TrailingZeros(uint(nSets))),
+		ways:      ways,
+		writeBack: writeBack,
+	}
+}
+
+// Name returns the cache's name.
+func (c *Cache) Name() string { return c.name }
+
+// Sets returns the number of sets.
+func (c *Cache) Sets() int { return len(c.sets) }
+
+// Ways returns the associativity.
+func (c *Cache) Ways() int { return c.ways }
+
+// Result describes the outcome of an access.
+type Result struct {
+	Hit bool
+	// Evicted reports that a valid line was displaced to make room.
+	Evicted bool
+	// WritebackAddr is the line address of a dirty victim that must be
+	// written to the next level; valid only when NeedsWriteback is true.
+	WritebackAddr  uint64
+	NeedsWriteback bool
+}
+
+func (c *Cache) set(addr uint64) []line { return c.sets[addr&c.setMask] }
+func (c *Cache) tag(addr uint64) uint64 { return addr >> c.setShift }
+
+// touch moves way i of set s to the MRU position.
+func touch(s []line, i int) {
+	if i == 0 {
+		return
+	}
+	l := s[i]
+	copy(s[1:i+1], s[0:i])
+	s[0] = l
+}
+
+// Lookup probes the cache without modifying replacement state or statistics.
+func (c *Cache) Lookup(addr uint64) bool {
+	s := c.set(addr)
+	t := c.tag(addr)
+	for i := range s {
+		if s[i].flags&flagValid != 0 && s[i].tag == t {
+			return true
+		}
+	}
+	return false
+}
+
+// Access performs a read or write access to the given line address,
+// allocating on miss. On a write to a write-back cache the line is marked
+// dirty; a write-through cache never holds dirty lines (the caller forwards
+// the write downstream). The returned Result reports any dirty victim that
+// must be written back.
+func (c *Cache) Access(addr uint64, write bool) Result {
+	s := c.set(addr)
+	t := c.tag(addr)
+	for i := range s {
+		if s[i].flags&flagValid != 0 && s[i].tag == t {
+			touch(s, i)
+			if write {
+				if c.writeBack {
+					s[0].flags |= flagDirty
+				}
+				c.writes.Observe(true)
+			} else {
+				c.reads.Observe(true)
+			}
+			return Result{Hit: true}
+		}
+	}
+	// Miss: fill into the LRU way.
+	if write {
+		c.writes.Observe(false)
+	} else {
+		c.reads.Observe(false)
+	}
+	return c.fill(s, addr&c.setMask, t, write)
+}
+
+// Probe performs a read or write access without allocating on miss. It is
+// used for allocation-policy filtering (e.g. local accesses bypassing a
+// remote-only L1.5 must not disturb its contents or statistics).
+func (c *Cache) Probe(addr uint64, write bool) bool {
+	s := c.set(addr)
+	t := c.tag(addr)
+	for i := range s {
+		if s[i].flags&flagValid != 0 && s[i].tag == t {
+			touch(s, i)
+			if write && c.writeBack {
+				s[0].flags |= flagDirty
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// fill inserts tag t into set s (whose index is setIdx) as MRU, evicting the
+// LRU way. The victim's line address is reconstructed from its tag and the
+// shared set index.
+func (c *Cache) fill(s []line, setIdx, t uint64, write bool) Result {
+	var res Result
+	victim := s[len(s)-1]
+	if victim.flags&flagValid != 0 {
+		res.Evicted = true
+		c.evictions.Inc()
+		if victim.flags&flagDirty != 0 {
+			res.NeedsWriteback = true
+			res.WritebackAddr = victim.tag<<c.setShift | setIdx
+			c.writebacks.Inc()
+		}
+	}
+	copy(s[1:], s[:len(s)-1])
+	nl := line{tag: t, flags: flagValid}
+	if write && c.writeBack {
+		nl.flags |= flagDirty
+	}
+	s[0] = nl
+	return res
+}
+
+// Flush invalidates the entire cache and returns the line addresses of all
+// dirty lines (write-back caches only). The paper flushes L1 and L1.5 at
+// kernel boundaries to implement software coherence.
+func (c *Cache) Flush() []uint64 {
+	c.flushes.Inc()
+	var dirty []uint64
+	for si := range c.sets {
+		s := c.sets[si]
+		for i := range s {
+			if s[i].flags&flagValid != 0 && s[i].flags&flagDirty != 0 {
+				dirty = append(dirty, s[i].tag<<c.setShift|uint64(si))
+			}
+			s[i] = line{}
+		}
+	}
+	return dirty
+}
+
+// Invalidate removes a single line if present, returning whether it was
+// dirty.
+func (c *Cache) Invalidate(addr uint64) (present, dirty bool) {
+	s := c.set(addr)
+	t := c.tag(addr)
+	for i := range s {
+		if s[i].flags&flagValid != 0 && s[i].tag == t {
+			dirty = s[i].flags&flagDirty != 0
+			copy(s[i:], s[i+1:])
+			s[len(s)-1] = line{}
+			return true, dirty
+		}
+	}
+	return false, false
+}
+
+// Occupancy returns the number of valid lines.
+func (c *Cache) Occupancy() int {
+	n := 0
+	for _, s := range c.sets {
+		for i := range s {
+			if s[i].flags&flagValid != 0 {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// HitRate returns the combined read+write hit rate.
+func (c *Cache) HitRate() float64 {
+	total := c.reads.Total + c.writes.Total
+	if total == 0 {
+		return 0
+	}
+	return float64(c.reads.Hits+c.writes.Hits) / float64(total)
+}
+
+// ReadHitRate returns the read hit rate.
+func (c *Cache) ReadHitRate() float64 { return c.reads.Value() }
+
+// Accesses returns the total number of Access calls.
+func (c *Cache) Accesses() uint64 { return c.reads.Total + c.writes.Total }
+
+// Hits returns the total number of hits across reads and writes.
+func (c *Cache) Hits() uint64 { return c.reads.Hits + c.writes.Hits }
+
+// Evictions returns the number of valid lines displaced.
+func (c *Cache) Evictions() uint64 { return c.evictions.Value() }
+
+// Writebacks returns the number of dirty victims produced.
+func (c *Cache) Writebacks() uint64 { return c.writebacks.Value() }
+
+// ResetStats clears statistics but preserves contents.
+func (c *Cache) ResetStats() {
+	c.reads.Reset()
+	c.writes.Reset()
+	c.evictions.Reset()
+	c.writebacks.Reset()
+	c.flushes.Reset()
+}

@@ -1,0 +1,117 @@
+package config
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// The enum types marshal as their string names so configuration files are
+// readable and stable across reorderings of the Go constants.
+
+var (
+	allocNames = map[AllocPolicy]string{AllocAll: "all", AllocRemoteOnly: "remote-only"}
+	schedNames = map[SchedulerKind]string{
+		SchedCentralized: "centralized", SchedDistributed: "distributed", SchedDynamic: "dynamic",
+	}
+	placeNames = map[PlacementKind]string{PlaceInterleave: "interleave", PlaceFirstTouch: "first-touch"}
+	topoNames  = map[TopologyKind]string{
+		TopoNone: "none", TopoRing: "ring", TopoCrossbar: "crossbar", TopoMesh: "mesh",
+	}
+)
+
+func marshalName[K comparable](names map[K]string, v K) ([]byte, error) {
+	n, ok := names[v]
+	if !ok {
+		return nil, fmt.Errorf("config: unknown enum value %v", v)
+	}
+	return json.Marshal(n)
+}
+
+func unmarshalName[K comparable](names map[K]string, data []byte, v *K) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err != nil {
+		return err
+	}
+	for k, n := range names {
+		if n == s {
+			*v = k
+			return nil
+		}
+	}
+	var opts []string
+	for _, n := range names {
+		opts = append(opts, n)
+	}
+	return fmt.Errorf("config: unknown name %q (have %s)", s, strings.Join(opts, ", "))
+}
+
+// MarshalJSON implements json.Marshaler.
+func (p AllocPolicy) MarshalJSON() ([]byte, error) { return marshalName(allocNames, p) }
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (p *AllocPolicy) UnmarshalJSON(b []byte) error { return unmarshalName(allocNames, b, p) }
+
+// MarshalJSON implements json.Marshaler.
+func (s SchedulerKind) MarshalJSON() ([]byte, error) { return marshalName(schedNames, s) }
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (s *SchedulerKind) UnmarshalJSON(b []byte) error { return unmarshalName(schedNames, b, s) }
+
+// MarshalJSON implements json.Marshaler.
+func (p PlacementKind) MarshalJSON() ([]byte, error) { return marshalName(placeNames, p) }
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (p *PlacementKind) UnmarshalJSON(b []byte) error { return unmarshalName(placeNames, b, p) }
+
+// MarshalJSON implements json.Marshaler.
+func (t TopologyKind) MarshalJSON() ([]byte, error) { return marshalName(topoNames, t) }
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (t *TopologyKind) UnmarshalJSON(b []byte) error { return unmarshalName(topoNames, b, t) }
+
+// WriteJSON serializes the configuration, indented for human editing.
+func (c *Config) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(c)
+}
+
+// ReadJSON parses and validates a configuration.
+func ReadJSON(r io.Reader) (*Config, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	c := new(Config)
+	if err := dec.Decode(c); err != nil {
+		return nil, fmt.Errorf("config: parsing JSON: %w", err)
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// LoadFile reads a configuration from a JSON file.
+func LoadFile(path string) (*Config, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("config: %w", err)
+	}
+	defer f.Close()
+	return ReadJSON(f)
+}
+
+// SaveFile writes the configuration to a JSON file.
+func (c *Config) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("config: %w", err)
+	}
+	if err := c.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

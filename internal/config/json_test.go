@@ -1,0 +1,84 @@
+package config
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestJSONRoundTripAllPresets(t *testing.T) {
+	presets := []*Config{
+		BaselineMCM(), OptimizedMCM(), OptimizedMCM16(),
+		Monolithic(128), UnbuildableMonolithic(),
+		MultiGPUBaseline(), MultiGPUOptimized(),
+		MCMWithLink(1536),
+	}
+	for _, c := range presets {
+		var buf bytes.Buffer
+		if err := c.WriteJSON(&buf); err != nil {
+			t.Fatalf("%s: write: %v", c.Name, err)
+		}
+		got, err := ReadJSON(&buf)
+		if err != nil {
+			t.Fatalf("%s: read: %v", c.Name, err)
+		}
+		if !reflect.DeepEqual(c, got) {
+			t.Errorf("%s: round trip changed config:\nwas:  %+v\ngot:  %+v", c.Name, c, got)
+		}
+	}
+}
+
+func TestJSONUsesReadableEnumNames(t *testing.T) {
+	var buf bytes.Buffer
+	if err := OptimizedMCM().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	for _, want := range []string{`"distributed"`, `"first-touch"`, `"remote-only"`, `"ring"`} {
+		if !strings.Contains(s, want) {
+			t.Errorf("JSON missing readable enum %s:\n%s", want, s)
+		}
+	}
+}
+
+func TestReadJSONRejectsInvalid(t *testing.T) {
+	cases := []string{
+		`{`,                            // malformed
+		`{"Modules": 0}`,               // fails validation
+		`{"Bogus": 1, "Modules": 4}`,   // unknown field
+		`{"Scheduler": "round-robin"}`, // unknown enum name
+	}
+	for i, c := range cases {
+		if _, err := ReadJSON(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d accepted: %s", i, c)
+		}
+	}
+}
+
+func TestLoadSaveFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "cfg.json")
+	c := MultiGPUOptimized()
+	if err := c.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(c, got) {
+		t.Fatalf("file round trip changed config")
+	}
+	if _, err := LoadFile(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatalf("missing file accepted")
+	}
+	if err := os.WriteFile(path, []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadFile(path); err == nil {
+		t.Fatalf("junk file accepted")
+	}
+}

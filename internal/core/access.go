@@ -1,0 +1,165 @@
+package core
+
+import (
+	"mcmgpu/internal/config"
+	"mcmgpu/internal/energy"
+	"mcmgpu/internal/engine"
+	"mcmgpu/internal/sm"
+)
+
+// lineBytes is the machine-wide cache line size (Table 3: 128 B).
+const lineBytes = config.LineBytes
+
+// The memory path is staged as discrete events at each variable-latency
+// boundary (arrival at the home partition, departure of the response) so
+// that every bandwidth reservation is made at — or at a small constant
+// offset from — current simulated time. Reserving a shared resource at a
+// far-future timestamp computed synchronously (e.g. booking the response
+// link transfer while still at the request's issue time) would insert the
+// intervening latency as dead time in the resource's FIFO timeline and
+// starve later-issued, earlier-arriving traffic.
+
+// startLoad begins one cache-line load for a warp on SM s. complete is
+// invoked exactly once with the data-ready cycle; for cache hits and local
+// accesses it is invoked synchronously with a (possibly future) timestamp,
+// for remote accesses it is invoked from the response event.
+func (m *Machine) startLoad(s *sm.SM, line uint64, complete func(engine.Cycle)) {
+	cfg := m.cfg
+	now := m.sim.Now()
+	m.lineReads++
+
+	// SM-private L1.
+	if s.L1.Access(line, false).Hit {
+		complete(now + engine.Cycle(cfg.L1.HitLatency))
+		return
+	}
+	t := now + engine.Cycle(cfg.L1.HitLatency) // tag lookup paid on miss too
+
+	// Module fabric toward the memory system or the module edge.
+	g := s.Module()
+	mod := m.mods[g]
+	t = mod.xbar.Reserve(t, lineBytes) + engine.Cycle(cfg.XbarLatency)
+	m.mtr.AddBytes(energy.DomainChip, lineBytes)
+
+	// Home lookup; first touch binds the page here.
+	pt := m.prts[m.amap.Partition(line, g)]
+	remote := pt.module != g
+	if remote {
+		m.remoteAcc++
+	} else {
+		m.localAcc++
+	}
+
+	// Module-side L1.5 (Section 5.1): caches remote traffic (or everything,
+	// under the allocate-all ablation policy). Allocation happens at miss
+	// time, which models MSHR merging: concurrent accesses to an in-flight
+	// line hit without issuing duplicate traffic.
+	if mod.l15 != nil && (remote || cfg.L15Alloc == config.AllocAll) {
+		if mod.l15.Access(line, false).Hit {
+			complete(t + engine.Cycle(cfg.L15.HitLatency))
+			return
+		}
+		t += l15MissPenalty
+	}
+
+	if remote {
+		// Request header crosses the ring to the home module.
+		hops := uint64(m.net.Hops(g, pt.module))
+		t = m.net.Send(t, g, pt.module, uint64(cfg.Link.ReqHeaderBytes))
+		m.mtr.AddBytes(m.linkDomain, hops*uint64(cfg.Link.ReqHeaderBytes))
+	}
+	m.sim.At(t, func() { m.partitionLoad(pt, g, line, complete) })
+}
+
+// partitionLoad runs at the line's home partition when the request arrives:
+// memory-side L2 lookup, DRAM fill on miss, and the response leg.
+func (m *Machine) partitionLoad(pt *partition, g int, line uint64, complete func(engine.Cycle)) {
+	cfg := m.cfg
+	now := m.sim.Now()
+	t := pt.bank.Reserve(now, lineBytes) + engine.Cycle(cfg.L2.HitLatency)
+	l2 := pt.l2.Access(m.amap.CacheAddr(line), false)
+	if !l2.Hit {
+		// The dirty victim departs as the fill arrives: both transactions
+		// are booked at the device arrival time.
+		if l2.NeedsWriteback {
+			pt.dram.Write(now, lineBytes)
+			m.mtr.AddDRAM(lineBytes)
+		}
+		t = pt.dram.Read(t, lineBytes)
+		m.mtr.AddDRAM(lineBytes)
+	}
+	if pt.module == g {
+		complete(t)
+		return
+	}
+	// Response departs home when the data is ready.
+	m.sim.At(t, func() {
+		resp := uint64(lineBytes + cfg.Link.RespHeaderBytes)
+		hops := uint64(m.net.Hops(pt.module, g))
+		arrive := m.net.Send(m.sim.Now(), pt.module, g, resp)
+		m.mtr.AddBytes(m.linkDomain, hops*resp)
+		complete(arrive)
+	})
+}
+
+// startStore begins one cache-line store. The caller has already acquired a
+// store-buffer slot; the slot is released when the line lands in the home
+// L2. The L1 and L1.5 are write-through (footnote 4 of the paper: required
+// for software coherence): stores update them in place when present, never
+// allocate, and always travel to the home partition.
+func (m *Machine) startStore(s *sm.SM, line uint64) {
+	cfg := m.cfg
+	now := m.sim.Now()
+	m.lineWrites++
+
+	s.L1.Probe(line, true)
+	t := now + engine.Cycle(cfg.L1.HitLatency)
+
+	g := s.Module()
+	mod := m.mods[g]
+	t = mod.xbar.Reserve(t, lineBytes) + engine.Cycle(cfg.XbarLatency)
+	m.mtr.AddBytes(energy.DomainChip, lineBytes)
+
+	pt := m.prts[m.amap.Partition(line, g)]
+	remote := pt.module != g
+	if remote {
+		m.remoteAcc++
+	} else {
+		m.localAcc++
+	}
+
+	if mod.l15 != nil && (remote || cfg.L15Alloc == config.AllocAll) {
+		mod.l15.Probe(line, true)
+	}
+
+	if remote {
+		payload := uint64(lineBytes + cfg.Link.ReqHeaderBytes)
+		hops := uint64(m.net.Hops(g, pt.module))
+		t = m.net.Send(t, g, pt.module, payload)
+		m.mtr.AddBytes(m.linkDomain, hops*payload)
+	}
+	m.sim.At(t, func() { m.partitionStore(s, pt, line) })
+}
+
+// partitionStore absorbs a store at the home partition's write-back L2
+// (write-allocate: a miss fills the line from DRAM and may evict a dirty
+// victim) and then releases the issuing SM's store-buffer slot.
+func (m *Machine) partitionStore(s *sm.SM, pt *partition, line uint64) {
+	cfg := m.cfg
+	now := m.sim.Now()
+	end := pt.bank.Reserve(now, lineBytes) + engine.Cycle(cfg.L2.HitLatency)
+	l2 := pt.l2.Access(m.amap.CacheAddr(line), true)
+	if !l2.Hit {
+		pt.dram.Read(now, lineBytes) // allocate fill
+		m.mtr.AddDRAM(lineBytes)
+		if l2.NeedsWriteback {
+			pt.dram.Write(now, lineBytes)
+			m.mtr.AddDRAM(lineBytes)
+		}
+	}
+	m.sim.At(end, func() {
+		if waiter := s.ReleaseStore(); waiter != nil {
+			waiter()
+		}
+	})
+}

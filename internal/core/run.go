@@ -1,0 +1,173 @@
+package core
+
+import (
+	"fmt"
+
+	"mcmgpu/internal/cta"
+	"mcmgpu/internal/engine"
+	"mcmgpu/internal/sm"
+	"mcmgpu/internal/workload"
+)
+
+// ctaCtx tracks one resident CTA until all of its warps drain.
+type ctaCtx struct {
+	idx  int
+	sm   *sm.SM
+	live int
+}
+
+// warpCtx is one warp's event-driven execution state.
+type warpCtx struct {
+	m   *Machine
+	cta *ctaCtx
+	st  *workload.Stream
+	op  workload.Op
+
+	// In-flight memory operation state.
+	lineIdx  int          // next store line to issue
+	pending  int          // outstanding loads of the current op
+	loadDone engine.Cycle // latest completion among them
+}
+
+// Run executes the workload on the machine: KernelIters sequential kernel
+// launches with cache flushes at each kernel boundary, then collects the
+// Result. Run may be called once per Machine.
+func (m *Machine) Run(spec *workload.Spec) (*Result, error) {
+	if m.ran {
+		return nil, fmt.Errorf("core: machine %q already ran; build a new one", m.cfg.Name)
+	}
+	m.ran = true
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if spec.WarpsPerCTA > m.cfg.WarpsPerSM {
+		return nil, fmt.Errorf("core: CTA needs %d warps, SM holds %d", spec.WarpsPerCTA, m.cfg.WarpsPerSM)
+	}
+	m.spec = spec
+
+	for iter := 0; iter < spec.KernelIters; iter++ {
+		if iter > 0 {
+			// Kernel launch overhead between convergence-loop iterations.
+			m.sim.RunUntil(m.sim.Now() + kernelGapCycles)
+		}
+		m.runKernel()
+		m.flushKernelBoundary()
+	}
+	return m.collect(), nil
+}
+
+// runKernel launches all CTAs of one kernel and drains the event queue.
+func (m *Machine) runKernel() {
+	m.sched = cta.New(m.cfg, m.spec.CTAs)
+	// Initial fill: pass over SMs (which alternate across modules) until
+	// no SM can accept another CTA. With the centralized scheduler this
+	// spreads consecutive CTAs across GPMs (Figure 8a); the distributed
+	// scheduler hands each module only its own contiguous chunk (Figure 8b).
+	for launched := true; launched; {
+		launched = false
+		for _, s := range m.sms {
+			if !s.CanHost(m.spec.WarpsPerCTA) {
+				continue
+			}
+			idx := m.sched.Next(s.Module())
+			if idx < 0 {
+				continue
+			}
+			m.launchCTA(idx, s, m.sim.Now())
+			launched = true
+		}
+	}
+	m.sim.Run()
+	if m.liveCTA != 0 || m.sched.Remaining() != 0 {
+		panic(fmt.Sprintf("core: kernel drained with %d live CTAs and %d unissued",
+			m.liveCTA, m.sched.Remaining()))
+	}
+}
+
+// launchCTA places CTA idx on SM s and starts its warps at time at.
+func (m *Machine) launchCTA(idx int, s *sm.SM, at engine.Cycle) {
+	s.HostCTA(m.spec.WarpsPerCTA)
+	m.liveCTA++
+	cc := &ctaCtx{idx: idx, sm: s, live: m.spec.WarpsPerCTA}
+	for w := 0; w < m.spec.WarpsPerCTA; w++ {
+		wc := &warpCtx{m: m, cta: cc, st: workload.NewStream(m.spec, idx, w)}
+		m.sim.At(at, wc.step)
+	}
+}
+
+// step issues the warp's next compute block, or retires the warp when its
+// stream is exhausted.
+func (wc *warpCtx) step() {
+	m := wc.m
+	if !wc.st.Next(&wc.op) {
+		wc.cta.live--
+		if wc.cta.live == 0 {
+			m.ctaDone(wc.cta)
+		}
+		return
+	}
+	instrs := uint64(wc.op.Compute) + 1 // the memory instruction issues too
+	wc.cta.sm.CountInstrs(instrs)
+	m.instrs += instrs
+	t := wc.cta.sm.Issue.Reserve(m.sim.Now(), instrs)
+	m.sim.At(t, wc.mem)
+}
+
+// mem performs the warp's memory operation. Loads block the warp until the
+// slowest line returns; stores retire after a fixed acknowledge delay while
+// their traffic drains asynchronously, subject to store-buffer backpressure.
+func (wc *warpCtx) mem() {
+	wc.m.memOps++
+	if wc.op.Write {
+		wc.lineIdx = 0
+		wc.memWrite()
+		return
+	}
+	wc.pending = wc.op.NumLines
+	wc.loadDone = wc.m.sim.Now()
+	for _, line := range wc.op.Lines[:wc.op.NumLines] {
+		wc.m.startLoad(wc.cta.sm, line, wc.loadComplete)
+	}
+}
+
+// loadComplete joins one line of a load op; when the last line lands the
+// warp resumes at the latest completion time.
+func (wc *warpCtx) loadComplete(t engine.Cycle) {
+	if t > wc.loadDone {
+		wc.loadDone = t
+	}
+	wc.pending--
+	if wc.pending == 0 {
+		wc.m.sim.At(wc.loadDone, wc.step)
+	}
+}
+
+// memWrite issues the op's store lines. Stores retire once they enter the
+// store buffer; a full buffer parks the warp until an in-flight store
+// completes, which is how memory-system congestion back-pressures
+// write-heavy code.
+func (wc *warpCtx) memWrite() {
+	m := wc.m
+	s := wc.cta.sm
+	for wc.lineIdx < wc.op.NumLines {
+		if s.StoreFull() {
+			s.AwaitStore(wc.memWrite)
+			return
+		}
+		s.AcquireStore()
+		m.startStore(s, wc.op.Lines[wc.lineIdx])
+		wc.lineIdx++
+	}
+	m.sim.After(storeAckCycles, wc.step)
+}
+
+// ctaDone retires a CTA and immediately pulls the next CTA for the freed
+// SM's module, as hardware does when resources free up.
+func (m *Machine) ctaDone(cc *ctaCtx) {
+	cc.sm.RetireCTA(m.spec.WarpsPerCTA)
+	m.liveCTA--
+	idx := m.sched.Next(cc.sm.Module())
+	if idx >= 0 {
+		m.launchCTA(idx, cc.sm, m.sim.Now())
+	}
+}

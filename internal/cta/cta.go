@@ -1,0 +1,219 @@
+// Package cta implements the two CTA scheduling policies of Section 5.2:
+// the baseline centralized scheduler, which hands consecutive CTA indices to
+// whichever SM frees up first anywhere on the machine, and the distributed
+// scheduler, which statically divides the CTA index space into contiguous
+// chunks, one per module, so that neighboring CTAs — and therefore the data
+// they share — stay within a GPM.
+package cta
+
+import (
+	"fmt"
+
+	"mcmgpu/internal/config"
+)
+
+// Scheduler dispenses CTA indices to modules. Implementations are not safe
+// for concurrent use; the simulation is single threaded.
+type Scheduler interface {
+	// Next returns the next CTA index to launch on an SM of the given
+	// module, or -1 if no CTA is available for it.
+	Next(module int) int
+	// Remaining returns the number of CTAs not yet handed out.
+	Remaining() int
+}
+
+// New builds the scheduler selected by cfg for a kernel with numCTAs CTAs.
+func New(cfg *config.Config, numCTAs int) Scheduler {
+	switch cfg.Scheduler {
+	case config.SchedCentralized:
+		return NewCentralized(numCTAs)
+	case config.SchedDistributed, config.SchedDynamic:
+		chunks := cfg.CTAChunksPerModule
+		if chunks <= 0 {
+			chunks = 1
+		}
+		d := NewDistributed(numCTAs, cfg.Modules, chunks)
+		if cfg.Scheduler == config.SchedDynamic {
+			return NewDynamic(d)
+		}
+		return d
+	}
+	panic(fmt.Sprintf("cta: unknown scheduler %v", cfg.Scheduler))
+}
+
+// Centralized is the baseline policy: one global cursor over the CTA index
+// space. Because SMs from every module pull from the same cursor as they
+// drain, consecutive CTAs land on different GPMs (Figure 8a).
+type Centralized struct {
+	next int
+	n    int
+}
+
+// NewCentralized returns a centralized scheduler over numCTAs CTAs.
+func NewCentralized(numCTAs int) *Centralized {
+	if numCTAs <= 0 {
+		panic(fmt.Sprintf("cta: numCTAs = %d", numCTAs))
+	}
+	return &Centralized{n: numCTAs}
+}
+
+// Next implements Scheduler; the module argument is ignored.
+func (c *Centralized) Next(module int) int {
+	if c.next >= c.n {
+		return -1
+	}
+	i := c.next
+	c.next++
+	return i
+}
+
+// Remaining implements Scheduler.
+func (c *Centralized) Remaining() int { return c.n - c.next }
+
+// chunk is a contiguous CTA index range [start, end) owned by one module.
+type chunk struct {
+	start, end int
+	module     int
+}
+
+// Distributed divides the CTA index space into modules*chunksPerModule
+// contiguous chunks assigned round-robin to modules (chunksPerModule == 1
+// reproduces the paper's equal split, Figure 8b). Each module draws only
+// from its own chunks; when a module's share is exhausted its SMs idle,
+// which reproduces the coarse-grain load imbalance the paper observes for
+// irregular applications.
+type Distributed struct {
+	n      int
+	layout []chunk // static chunk layout, in CTA index order
+	// cursor[m] indexes into perModule[m]; next[m][k] is the next unissued
+	// CTA of that module's k-th chunk.
+	perModule [][]int // chunk indices owned by each module
+	next      []int   // next CTA index within chunk i of layout
+	left      int
+}
+
+// NewDistributed returns a distributed scheduler over numCTAs CTAs for the
+// given module count and chunk granularity.
+func NewDistributed(numCTAs, modules, chunksPerModule int) *Distributed {
+	if numCTAs <= 0 || modules <= 0 || chunksPerModule <= 0 {
+		panic(fmt.Sprintf("cta: bad distributed scheduler shape n=%d modules=%d chunks=%d",
+			numCTAs, modules, chunksPerModule))
+	}
+	d := &Distributed{
+		n:         numCTAs,
+		perModule: make([][]int, modules),
+		left:      numCTAs,
+	}
+	totalChunks := modules * chunksPerModule
+	base := numCTAs / totalChunks
+	rem := numCTAs % totalChunks
+	start := 0
+	for ci := 0; ci < totalChunks; ci++ {
+		size := base
+		if ci < rem {
+			size++
+		}
+		if size == 0 {
+			continue
+		}
+		m := ci % modules
+		idx := len(d.layout)
+		d.layout = append(d.layout, chunk{start: start, end: start + size, module: m})
+		d.next = append(d.next, start)
+		d.perModule[m] = append(d.perModule[m], idx)
+		start += size
+	}
+	return d
+}
+
+// Next implements Scheduler.
+func (d *Distributed) Next(module int) int {
+	for _, ci := range d.perModule[module] {
+		if d.next[ci] < d.layout[ci].end {
+			i := d.next[ci]
+			d.next[ci]++
+			d.left--
+			return i
+		}
+	}
+	return -1
+}
+
+// Remaining implements Scheduler.
+func (d *Distributed) Remaining() int { return d.left }
+
+// Module returns which module the layout assigns CTA i to, or -1 if i is
+// out of range.
+func (d *Distributed) Module(i int) int {
+	for _, c := range d.layout {
+		if i >= c.start && i < c.end {
+			return c.module
+		}
+	}
+	return -1
+}
+
+// Dynamic wraps a Distributed scheduler with tail stealing: when a module's
+// own chunks drain, it takes the trailing half of the remaining range of
+// the module with the most CTAs left. Contiguity is preserved on both sides
+// of the split — the victim keeps its head, the thief gets a contiguous
+// tail — so the locality that distributed scheduling buys survives while
+// the coarse-grain imbalance the paper observes (Section 5.4) shrinks.
+type Dynamic struct {
+	d *Distributed
+	// stolen[m] holds ranges module m has acquired by stealing.
+	stolen [][][2]int
+	// steals counts successful steals, for tests and reporting.
+	steals int
+}
+
+// NewDynamic wraps an existing distributed layout with stealing.
+func NewDynamic(d *Distributed) *Dynamic {
+	return &Dynamic{d: d, stolen: make([][][2]int, len(d.perModule))}
+}
+
+// Next implements Scheduler.
+func (y *Dynamic) Next(module int) int {
+	if i := y.d.Next(module); i >= 0 {
+		return i
+	}
+	// Drain previously stolen ranges.
+	rs := y.stolen[module]
+	for len(rs) > 0 {
+		r := &rs[0]
+		if r[0] < r[1] {
+			i := r[0]
+			r[0]++
+			y.d.left--
+			return i
+		}
+		rs = rs[1:]
+		y.stolen[module] = rs
+	}
+	// Steal the tail half of the busiest module's largest open chunk.
+	vi, remain := -1, 1 // require at least 2 remaining to split
+	for ci := range y.d.layout {
+		if r := y.d.layout[ci].end - y.d.next[ci]; r > remain {
+			vi, remain = ci, r
+		}
+	}
+	if vi < 0 {
+		return -1
+	}
+	mid := y.d.next[vi] + remain/2
+	start, end := mid, y.d.layout[vi].end
+	y.d.layout[vi].end = mid
+	y.steals++
+	if start >= end {
+		return -1
+	}
+	y.stolen[module] = append(y.stolen[module], [2]int{start + 1, end})
+	y.d.left--
+	return start
+}
+
+// Remaining implements Scheduler.
+func (y *Dynamic) Remaining() int { return y.d.Remaining() }
+
+// Steals returns the number of successful steals.
+func (y *Dynamic) Steals() int { return y.steals }

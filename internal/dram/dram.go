@@ -1,0 +1,77 @@
+// Package dram models the memory partitions attached to each GPU module:
+// a fixed access latency (Table 3: 100 ns) in front of a bandwidth-limited
+// device. Channel-level interleaving inside a partition is abstracted into
+// the partition's aggregate bandwidth, as the paper does when it sizes
+// on-package links against per-partition DRAM bandwidth.
+package dram
+
+import (
+	"fmt"
+
+	"mcmgpu/internal/engine"
+)
+
+// Partition is one DRAM partition (768 GB/s in the baseline MCM-GPU).
+type Partition struct {
+	id      int
+	res     *engine.Resource
+	latency engine.Cycle
+
+	readBytes  uint64
+	writeBytes uint64
+	reads      uint64
+	writes     uint64
+}
+
+// NewPartition creates partition id with the given bandwidth (GB/s, which
+// equals bytes/cycle at 1 GHz) and access latency in cycles.
+func NewPartition(id int, gbps float64, latency uint64) *Partition {
+	return &Partition{
+		id:      id,
+		res:     engine.NewResource(fmt.Sprintf("dram-%d", id), gbps),
+		latency: engine.Cycle(latency),
+	}
+}
+
+// ID returns the partition index.
+func (p *Partition) ID() int { return p.id }
+
+// Read books a read of the given size and returns the time data is
+// available: queuing + serialization on the device plus the access latency.
+func (p *Partition) Read(now engine.Cycle, bytes uint64) engine.Cycle {
+	p.reads++
+	p.readBytes += bytes
+	return p.res.Reserve(now, bytes) + p.latency
+}
+
+// Write books a write of the given size. Writes consume bandwidth but the
+// caller does not usually wait on the returned completion time (GPU stores
+// retire at issue).
+func (p *Partition) Write(now engine.Cycle, bytes uint64) engine.Cycle {
+	p.writes++
+	p.writeBytes += bytes
+	return p.res.Reserve(now, bytes) + p.latency
+}
+
+// Bytes returns total bytes transferred (reads + writes).
+func (p *Partition) Bytes() uint64 { return p.readBytes + p.writeBytes }
+
+// ReadBytes returns total bytes read.
+func (p *Partition) ReadBytes() uint64 { return p.readBytes }
+
+// WriteBytes returns total bytes written.
+func (p *Partition) WriteBytes() uint64 { return p.writeBytes }
+
+// Accesses returns the number of read and write requests served.
+func (p *Partition) Accesses() uint64 { return p.reads + p.writes }
+
+// Utilization returns the fraction of elapsed cycles the device was busy.
+func (p *Partition) Utilization(elapsed engine.Cycle) float64 {
+	return p.res.Utilization(elapsed)
+}
+
+// Reset clears counters and reservations.
+func (p *Partition) Reset() {
+	p.res.Reset()
+	p.readBytes, p.writeBytes, p.reads, p.writes = 0, 0, 0, 0
+}

@@ -1,0 +1,79 @@
+package dram
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestReadLatencyAndBandwidth(t *testing.T) {
+	p := NewPartition(0, 768, 100)
+	// One 768-byte read: 1 cycle serialization + 100 cycles latency.
+	if got := p.Read(0, 768); got != 101 {
+		t.Fatalf("read completes at %d, want 101", got)
+	}
+	// A queued read waits for the first transfer.
+	if got := p.Read(0, 768); got != 102 {
+		t.Fatalf("queued read completes at %d, want 102", got)
+	}
+	if p.ReadBytes() != 1536 {
+		t.Fatalf("ReadBytes = %d", p.ReadBytes())
+	}
+	if p.Accesses() != 2 {
+		t.Fatalf("Accesses = %d", p.Accesses())
+	}
+}
+
+func TestWriteConsumesBandwidth(t *testing.T) {
+	p := NewPartition(1, 128, 100)
+	p.Write(0, 1280) // 10 cycles of device time
+	if got := p.Read(0, 128); got != 111 {
+		t.Fatalf("read behind write completes at %d, want 111", got)
+	}
+	if p.WriteBytes() != 1280 {
+		t.Fatalf("WriteBytes = %d", p.WriteBytes())
+	}
+	if p.Bytes() != 1280+128 {
+		t.Fatalf("Bytes = %d", p.Bytes())
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	p := NewPartition(0, 768, 100)
+	p.Read(0, 768*50) // 50 busy cycles
+	if u := p.Utilization(100); u < 0.49 || u > 0.51 {
+		t.Fatalf("Utilization = %v, want ~0.5", u)
+	}
+}
+
+func TestReset(t *testing.T) {
+	p := NewPartition(0, 768, 100)
+	p.Read(0, 4096)
+	p.Write(0, 4096)
+	p.Reset()
+	if p.Bytes() != 0 || p.Accesses() != 0 {
+		t.Fatalf("Reset kept counters")
+	}
+	if got := p.Read(0, 768); got != 101 {
+		t.Fatalf("Reset kept reservations: %d", got)
+	}
+}
+
+// Property: a saturating stream of reads completes no faster than
+// totalBytes/bandwidth, i.e. the device never exceeds its configured
+// bandwidth.
+func TestBandwidthCeilingProperty(t *testing.T) {
+	f := func(nReq uint8, szRaw uint16) bool {
+		p := NewPartition(0, 256, 10)
+		sz := uint64(szRaw%2048) + 1
+		var last uint64
+		n := int(nReq) + 1
+		for i := 0; i < n; i++ {
+			last = uint64(p.Read(0, sz))
+		}
+		minCycles := float64(uint64(n)*sz) / 256
+		return float64(last) >= minCycles
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

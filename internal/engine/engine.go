@@ -1,0 +1,203 @@
+// Package engine provides the discrete-event simulation core used by the
+// MCM-GPU model: a simulated clock, an event queue, and bandwidth-limited
+// resources that model shared components (DRAM partitions, on-package links,
+// crossbars, SM issue slots) via next-free-time reservation.
+//
+// The engine is deliberately small and deterministic: events scheduled for
+// the same cycle fire in scheduling order, so a simulation with a fixed
+// configuration and seed always produces identical results.
+package engine
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Cycle is a point in simulated time, measured in GPU core cycles.
+// The model clocks the GPU at 1 GHz (Table 3 of the paper), so one cycle is
+// one nanosecond; bandwidths expressed in GB/s translate directly to
+// bytes per cycle.
+type Cycle uint64
+
+type event struct {
+	at  Cycle
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Sim is a discrete-event simulator. The zero value is not usable; create
+// one with New.
+type Sim struct {
+	now    Cycle
+	events eventHeap
+	seq    uint64
+	nRun   uint64
+}
+
+// New returns an empty simulator positioned at cycle 0.
+func New() *Sim {
+	return &Sim{}
+}
+
+// Now returns the current simulated time.
+func (s *Sim) Now() Cycle { return s.now }
+
+// Processed returns the number of events executed so far.
+func (s *Sim) Processed() uint64 { return s.nRun }
+
+// Pending returns the number of events waiting in the queue.
+func (s *Sim) Pending() int { return len(s.events) }
+
+// At schedules fn to run at absolute time t. Scheduling in the past is an
+// error in the caller; the engine clamps it to the current time so the
+// simulation still makes forward progress, which keeps small floating-point
+// slop in callers from wedging a run.
+func (s *Sim) At(t Cycle, fn func()) {
+	if t < s.now {
+		t = s.now
+	}
+	s.seq++
+	heap.Push(&s.events, event{at: t, seq: s.seq, fn: fn})
+}
+
+// After schedules fn to run delay cycles from now.
+func (s *Sim) After(delay Cycle, fn func()) {
+	s.At(s.now+delay, fn)
+}
+
+// Step executes the earliest pending event and reports whether one existed.
+func (s *Sim) Step() bool {
+	if len(s.events) == 0 {
+		return false
+	}
+	e := heap.Pop(&s.events).(event)
+	s.now = e.at
+	s.nRun++
+	e.fn()
+	return true
+}
+
+// Run executes events until the queue drains and returns the number of
+// events processed by this call.
+func (s *Sim) Run() uint64 {
+	start := s.nRun
+	for s.Step() {
+	}
+	return s.nRun - start
+}
+
+// RunUntil executes events with timestamps <= limit. It returns the number
+// of events processed by this call. Events beyond the limit remain queued.
+func (s *Sim) RunUntil(limit Cycle) uint64 {
+	start := s.nRun
+	for len(s.events) > 0 && s.events[0].at <= limit {
+		s.Step()
+	}
+	if s.now < limit && len(s.events) == 0 {
+		s.now = limit
+	}
+	return s.nRun - start
+}
+
+// Resource models a component with finite throughput using next-free-time
+// reservation: a transfer of n units occupies the resource for n*cyclesPer
+// cycles starting no earlier than the later of the request time and the end
+// of the previous reservation. Queuing delay under contention and bandwidth
+// saturation both emerge from this rule.
+//
+// Resources are not safe for concurrent use; the simulation is single
+// threaded by design.
+type Resource struct {
+	name      string
+	cyclesPer float64 // cycles consumed per unit transferred
+	nextFree  float64
+	busy      float64 // total occupied cycles
+	units     uint64  // total units transferred
+	resv      uint64  // number of reservations
+}
+
+// NewResource creates a resource named name with the given throughput in
+// units per cycle. A DRAM partition delivering 768 GB/s at 1 GHz is
+// NewResource("dram0", 768) with bytes as the unit. unitsPerCycle must be
+// positive.
+func NewResource(name string, unitsPerCycle float64) *Resource {
+	if unitsPerCycle <= 0 {
+		panic(fmt.Sprintf("engine: resource %q: non-positive throughput %v", name, unitsPerCycle))
+	}
+	return &Resource{name: name, cyclesPer: 1 / unitsPerCycle}
+}
+
+// Name returns the resource's name.
+func (r *Resource) Name() string { return r.name }
+
+// Reserve books units of transfer beginning no earlier than now and returns
+// the cycle at which the transfer completes. The resource is busy from
+// max(now, previous completion) until the returned time.
+func (r *Resource) Reserve(now Cycle, units uint64) Cycle {
+	start := float64(now)
+	if r.nextFree > start {
+		start = r.nextFree
+	}
+	dur := float64(units) * r.cyclesPer
+	r.nextFree = start + dur
+	r.busy += dur
+	r.units += units
+	r.resv++
+	return Cycle(r.nextFree + 0.5)
+}
+
+// Delay returns how long a reservation of units would wait plus transfer
+// time if issued at now, without reserving.
+func (r *Resource) Delay(now Cycle, units uint64) Cycle {
+	start := float64(now)
+	if r.nextFree > start {
+		start = r.nextFree
+	}
+	end := start + float64(units)*r.cyclesPer
+	return Cycle(end+0.5) - now
+}
+
+// Units returns the total units transferred through the resource.
+func (r *Resource) Units() uint64 { return r.units }
+
+// Reservations returns the number of reservations made.
+func (r *Resource) Reservations() uint64 { return r.resv }
+
+// BusyCycles returns the total cycles the resource has been occupied.
+func (r *Resource) BusyCycles() float64 { return r.busy }
+
+// Utilization returns the fraction of elapsed cycles the resource was busy.
+// It reports 0 for a zero elapsed interval.
+func (r *Resource) Utilization(elapsed Cycle) float64 {
+	if elapsed == 0 {
+		return 0
+	}
+	return r.busy / float64(elapsed)
+}
+
+// Reset clears reservation history but keeps the configured throughput.
+func (r *Resource) Reset() {
+	r.nextFree = 0
+	r.busy = 0
+	r.units = 0
+	r.resv = 0
+}

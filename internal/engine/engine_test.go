@@ -1,0 +1,233 @@
+package engine
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestSimEmptyRun(t *testing.T) {
+	s := New()
+	if n := s.Run(); n != 0 {
+		t.Fatalf("Run on empty sim processed %d events", n)
+	}
+	if s.Now() != 0 {
+		t.Fatalf("Now = %d, want 0", s.Now())
+	}
+}
+
+func TestSimOrdering(t *testing.T) {
+	s := New()
+	var got []int
+	s.At(30, func() { got = append(got, 3) })
+	s.At(10, func() { got = append(got, 1) })
+	s.At(20, func() { got = append(got, 2) })
+	s.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if s.Now() != 30 {
+		t.Fatalf("Now = %d, want 30", s.Now())
+	}
+}
+
+func TestSimSameCycleFIFO(t *testing.T) {
+	s := New()
+	var got []int
+	for i := 0; i < 100; i++ {
+		i := i
+		s.At(5, func() { got = append(got, i) })
+	}
+	s.Run()
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("same-cycle events ran out of scheduling order at %d: %v", i, got[:i+1])
+		}
+	}
+}
+
+func TestSimScheduleDuringRun(t *testing.T) {
+	s := New()
+	var got []Cycle
+	s.At(10, func() {
+		got = append(got, s.Now())
+		s.After(5, func() { got = append(got, s.Now()) })
+	})
+	s.Run()
+	if len(got) != 2 || got[0] != 10 || got[1] != 15 {
+		t.Fatalf("got %v, want [10 15]", got)
+	}
+}
+
+func TestSimPastClamped(t *testing.T) {
+	s := New()
+	fired := Cycle(0)
+	s.At(100, func() {
+		s.At(50, func() { fired = s.Now() })
+	})
+	s.Run()
+	if fired != 100 {
+		t.Fatalf("past-scheduled event fired at %d, want clamped to 100", fired)
+	}
+}
+
+func TestSimRunUntil(t *testing.T) {
+	s := New()
+	count := 0
+	for _, at := range []Cycle{5, 10, 15, 20} {
+		s.At(at, func() { count++ })
+	}
+	if n := s.RunUntil(12); n != 2 {
+		t.Fatalf("RunUntil(12) processed %d, want 2", n)
+	}
+	if count != 2 {
+		t.Fatalf("count = %d, want 2", count)
+	}
+	if s.Pending() != 2 {
+		t.Fatalf("Pending = %d, want 2", s.Pending())
+	}
+	s.Run()
+	if count != 4 {
+		t.Fatalf("count after Run = %d, want 4", count)
+	}
+}
+
+func TestSimRunUntilAdvancesIdleClock(t *testing.T) {
+	s := New()
+	s.RunUntil(500)
+	if s.Now() != 500 {
+		t.Fatalf("Now = %d, want 500", s.Now())
+	}
+}
+
+// Property: events always fire in nondecreasing time order regardless of the
+// order they were scheduled in.
+func TestSimOrderingProperty(t *testing.T) {
+	f := func(times []uint16) bool {
+		s := New()
+		var fired []Cycle
+		for _, tm := range times {
+			at := Cycle(tm)
+			s.At(at, func() { fired = append(fired, s.Now()) })
+		}
+		s.Run()
+		if len(fired) != len(times) {
+			return false
+		}
+		return sort.SliceIsSorted(fired, func(i, j int) bool { return fired[i] < fired[j] })
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResourceSerialization(t *testing.T) {
+	r := NewResource("link", 2) // 2 bytes/cycle
+	end1 := r.Reserve(0, 100)   // occupies [0,50)
+	if end1 != 50 {
+		t.Fatalf("first reservation ends at %d, want 50", end1)
+	}
+	end2 := r.Reserve(0, 100) // queued behind the first
+	if end2 != 100 {
+		t.Fatalf("second reservation ends at %d, want 100", end2)
+	}
+	end3 := r.Reserve(200, 100) // idle gap, starts at 200
+	if end3 != 250 {
+		t.Fatalf("third reservation ends at %d, want 250", end3)
+	}
+	if r.Units() != 300 {
+		t.Fatalf("Units = %d, want 300", r.Units())
+	}
+	if r.Reservations() != 3 {
+		t.Fatalf("Reservations = %d, want 3", r.Reservations())
+	}
+}
+
+func TestResourceUtilization(t *testing.T) {
+	r := NewResource("dram", 768)
+	r.Reserve(0, 768*100) // busy 100 cycles
+	if got := r.Utilization(200); got < 0.49 || got > 0.51 {
+		t.Fatalf("Utilization = %v, want ~0.5", got)
+	}
+	if got := r.Utilization(0); got != 0 {
+		t.Fatalf("Utilization over zero interval = %v, want 0", got)
+	}
+}
+
+func TestResourceDelayDoesNotReserve(t *testing.T) {
+	r := NewResource("x", 1)
+	d := r.Delay(0, 10)
+	if d != 10 {
+		t.Fatalf("Delay = %d, want 10", d)
+	}
+	if r.Units() != 0 || r.BusyCycles() != 0 {
+		t.Fatalf("Delay mutated the resource")
+	}
+	end := r.Reserve(0, 10)
+	if end != 10 {
+		t.Fatalf("Reserve after Delay ends at %d, want 10", end)
+	}
+}
+
+func TestResourceReset(t *testing.T) {
+	r := NewResource("x", 4)
+	r.Reserve(0, 400)
+	r.Reset()
+	if r.Units() != 0 || r.BusyCycles() != 0 || r.Reservations() != 0 {
+		t.Fatalf("Reset did not clear counters")
+	}
+	if end := r.Reserve(0, 4); end != 1 {
+		t.Fatalf("post-Reset reservation ends at %d, want 1", end)
+	}
+}
+
+func TestResourceInvalidThroughputPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("NewResource with zero throughput did not panic")
+		}
+	}()
+	NewResource("bad", 0)
+}
+
+// Property: completion times for a single resource are nondecreasing when
+// request times are nondecreasing, and total busy time equals
+// sum(units)/throughput.
+func TestResourceMonotoneProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := NewResource("p", 16)
+		now := Cycle(0)
+		last := Cycle(0)
+		var total uint64
+		for i := 0; i < int(n); i++ {
+			now += Cycle(rng.Intn(50))
+			units := uint64(rng.Intn(1000) + 1)
+			total += units
+			end := r.Reserve(now, units)
+			if end < last || end < now {
+				return false
+			}
+			last = end
+		}
+		wantBusy := float64(total) / 16
+		return r.BusyCycles() > wantBusy-1e-6 && r.BusyCycles() < wantBusy+1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSimScheduleRun(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := New()
+		for j := 0; j < 1000; j++ {
+			s.At(Cycle(j%97), func() {})
+		}
+		s.Run()
+	}
+}

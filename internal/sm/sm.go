@@ -1,0 +1,160 @@
+// Package sm models a streaming multiprocessor: an in-order issue pipeline
+// with a bounded warp residency (Table 3: 64 warps per SM), a private L1
+// data cache (128 KB, software-coherent, flushed at kernel boundaries), and
+// CTA occupancy bookkeeping. Warp-level parallelism is modeled by letting
+// every resident warp reserve issue slots on the SM's shared issue resource;
+// latency hiding then emerges from the overlap of one warp's memory stall
+// with other warps' issue reservations, which is exactly how the paper's
+// greedy-then-round-robin scheduler behaves at steady state.
+package sm
+
+import (
+	"fmt"
+
+	"mcmgpu/internal/cache"
+	"mcmgpu/internal/config"
+	"mcmgpu/internal/engine"
+)
+
+// StoreBufferSlots is the per-SM store buffer depth. Stores retire from the
+// warp's perspective as soon as they enter the buffer, but a warp issuing a
+// store when all slots hold in-flight stores stalls until one completes.
+// This is the backpressure that keeps write-heavy warps from outrunning the
+// memory system.
+const StoreBufferSlots = 48
+
+// SM is one streaming multiprocessor.
+type SM struct {
+	id     int
+	module int
+
+	// Store buffer occupancy and warps parked waiting for a free slot.
+	storeInFlight int
+	storeWaiters  []func()
+
+	// Issue is the SM's instruction issue bandwidth in warp instructions
+	// per cycle; every resident warp reserves slots on it.
+	Issue *engine.Resource
+	// L1 is the SM-private data cache.
+	L1 *cache.Cache
+
+	maxWarps     int
+	maxCTAs      int
+	residentCTAs int
+	residentWrps int
+
+	launchedCTAs  uint64
+	retiredCTAs   uint64
+	instrs        uint64
+	peakResidency int
+}
+
+// New builds SM id belonging to the given module.
+func New(id, module int, cfg *config.Config) *SM {
+	maxCTAs := cfg.MaxCTAsPerSM
+	if maxCTAs <= 0 {
+		maxCTAs = cfg.WarpsPerSM // effectively warp-limited
+	}
+	return &SM{
+		id:       id,
+		module:   module,
+		Issue:    engine.NewResource(fmt.Sprintf("sm%d-issue", id), cfg.IssuePerSM),
+		L1:       cache.New(fmt.Sprintf("sm%d-l1", id), cfg.L1.Lines(), cfg.L1.Ways, cfg.L1.WriteBack),
+		maxWarps: cfg.WarpsPerSM,
+		maxCTAs:  maxCTAs,
+	}
+}
+
+// ID returns the SM index.
+func (s *SM) ID() int { return s.id }
+
+// Module returns the module (GPM) the SM belongs to.
+func (s *SM) Module() int { return s.module }
+
+// CanHost reports whether a CTA of the given warp count fits now.
+func (s *SM) CanHost(warpsPerCTA int) bool {
+	return s.residentCTAs < s.maxCTAs && s.residentWrps+warpsPerCTA <= s.maxWarps
+}
+
+// HostCTA admits a CTA of the given warp count. It panics if the CTA does
+// not fit; callers must check CanHost.
+func (s *SM) HostCTA(warpsPerCTA int) {
+	if !s.CanHost(warpsPerCTA) {
+		panic(fmt.Sprintf("sm %d: HostCTA(%d warps) with %d/%d warps and %d/%d CTAs resident",
+			s.id, warpsPerCTA, s.residentWrps, s.maxWarps, s.residentCTAs, s.maxCTAs))
+	}
+	s.residentCTAs++
+	s.residentWrps += warpsPerCTA
+	s.launchedCTAs++
+	if s.residentWrps > s.peakResidency {
+		s.peakResidency = s.residentWrps
+	}
+}
+
+// RetireCTA releases a CTA's warp slots.
+func (s *SM) RetireCTA(warpsPerCTA int) {
+	if s.residentCTAs <= 0 || s.residentWrps < warpsPerCTA {
+		panic(fmt.Sprintf("sm %d: RetireCTA(%d) underflow", s.id, warpsPerCTA))
+	}
+	s.residentCTAs--
+	s.residentWrps -= warpsPerCTA
+	s.retiredCTAs++
+}
+
+// ResidentWarps returns the warps currently resident.
+func (s *SM) ResidentWarps() int { return s.residentWrps }
+
+// ResidentCTAs returns the CTAs currently resident.
+func (s *SM) ResidentCTAs() int { return s.residentCTAs }
+
+// PeakResidency returns the maximum warps ever resident together.
+func (s *SM) PeakResidency() int { return s.peakResidency }
+
+// CountInstrs records issued warp instructions for reporting.
+func (s *SM) CountInstrs(n uint64) { s.instrs += n }
+
+// Instrs returns warp instructions issued by this SM.
+func (s *SM) Instrs() uint64 { return s.instrs }
+
+// RetiredCTAs returns the number of CTAs completed on this SM.
+func (s *SM) RetiredCTAs() uint64 { return s.retiredCTAs }
+
+// FlushL1 invalidates the L1 at a kernel boundary (software coherence).
+// The L1 is write-through in this model, so no dirty data moves.
+func (s *SM) FlushL1() { s.L1.Flush() }
+
+// StoreFull reports whether the store buffer has no free slot.
+func (s *SM) StoreFull() bool { return s.storeInFlight >= StoreBufferSlots }
+
+// AcquireStore occupies a store buffer slot. Callers must check StoreFull
+// first; overflow panics to surface pipeline bugs.
+func (s *SM) AcquireStore() {
+	if s.StoreFull() {
+		panic(fmt.Sprintf("sm %d: store buffer overflow", s.id))
+	}
+	s.storeInFlight++
+}
+
+// AwaitStore parks a continuation until a store buffer slot frees.
+func (s *SM) AwaitStore(fn func()) {
+	s.storeWaiters = append(s.storeWaiters, fn)
+}
+
+// ReleaseStore frees a store buffer slot and returns the next parked
+// continuation to resume, if any. The caller runs it at the current
+// simulated time; the continuation re-acquires the freed slot.
+func (s *SM) ReleaseStore() func() {
+	if s.storeInFlight <= 0 {
+		panic(fmt.Sprintf("sm %d: store buffer underflow", s.id))
+	}
+	s.storeInFlight--
+	if len(s.storeWaiters) == 0 {
+		return nil
+	}
+	w := s.storeWaiters[0]
+	s.storeWaiters = s.storeWaiters[1:]
+	return w
+}
+
+// StoresInFlight returns current store buffer occupancy.
+func (s *SM) StoresInFlight() int { return s.storeInFlight }

@@ -1,0 +1,160 @@
+// Package stats provides the small statistical toolkit used throughout the
+// simulator and its experiment harness: named counters, hit-rate ratios, and
+// the aggregation helpers (arithmetic mean, geometric mean) the paper uses
+// when reporting per-category results.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Counter accumulates a monotonically increasing count.
+type Counter struct {
+	n uint64
+}
+
+// Add increments the counter by d.
+func (c *Counter) Add(d uint64) { c.n += d }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.n++ }
+
+// Value returns the accumulated count.
+func (c *Counter) Value() uint64 { return c.n }
+
+// Reset zeroes the counter.
+func (c *Counter) Reset() { c.n = 0 }
+
+// Ratio tracks a hits/total pair, e.g. a cache hit rate.
+type Ratio struct {
+	Hits  uint64
+	Total uint64
+}
+
+// Observe records one event that either hit or missed.
+func (r *Ratio) Observe(hit bool) {
+	r.Total++
+	if hit {
+		r.Hits++
+	}
+}
+
+// Value returns hits/total, or 0 when nothing was observed.
+func (r *Ratio) Value() float64 {
+	if r.Total == 0 {
+		return 0
+	}
+	return float64(r.Hits) / float64(r.Total)
+}
+
+// Reset zeroes the ratio.
+func (r *Ratio) Reset() { r.Hits, r.Total = 0, 0 }
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// GeoMean returns the geometric mean of xs, or 0 for an empty slice.
+// All inputs must be positive; non-positive values make a geometric mean
+// meaningless, so they are rejected with a panic to surface harness bugs.
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		if x <= 0 {
+			panic(fmt.Sprintf("stats: GeoMean of non-positive value %v", x))
+		}
+		s += math.Log(x)
+	}
+	return math.Exp(s / float64(len(xs)))
+}
+
+// Min returns the smallest element of xs, or 0 for an empty slice.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the largest element of xs, or 0 for an empty slice.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Sorted returns a sorted copy of xs. It is used to build the paper's
+// Figure 15 s-curve.
+func Sorted(xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	copy(out, xs)
+	sort.Float64s(out)
+	return out
+}
+
+// Group collects named float samples and aggregates them; the experiment
+// harness uses one Group per workload category.
+type Group struct {
+	names  []string
+	values []float64
+}
+
+// Add appends a named sample.
+func (g *Group) Add(name string, v float64) {
+	g.names = append(g.names, name)
+	g.values = append(g.values, v)
+}
+
+// Len returns the number of samples.
+func (g *Group) Len() int { return len(g.values) }
+
+// Values returns the sample values in insertion order.
+func (g *Group) Values() []float64 { return g.values }
+
+// Names returns the sample names in insertion order.
+func (g *Group) Names() []string { return g.names }
+
+// Mean returns the arithmetic mean of the samples.
+func (g *Group) Mean() float64 { return Mean(g.values) }
+
+// GeoMean returns the geometric mean of the samples.
+func (g *Group) GeoMean() float64 { return GeoMean(g.values) }
+
+// String renders the group as "name=value" pairs for debugging.
+func (g *Group) String() string {
+	var b strings.Builder
+	for i, n := range g.names {
+		if i > 0 {
+			b.WriteString(" ")
+		}
+		fmt.Fprintf(&b, "%s=%.3f", n, g.values[i])
+	}
+	return b.String()
+}

@@ -1,0 +1,128 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(9)
+	if c.Value() != 10 {
+		t.Fatalf("Value = %d, want 10", c.Value())
+	}
+	c.Reset()
+	if c.Value() != 0 {
+		t.Fatalf("Value after Reset = %d, want 0", c.Value())
+	}
+}
+
+func TestRatio(t *testing.T) {
+	var r Ratio
+	if r.Value() != 0 {
+		t.Fatalf("empty ratio = %v, want 0", r.Value())
+	}
+	r.Observe(true)
+	r.Observe(true)
+	r.Observe(false)
+	r.Observe(false)
+	if got := r.Value(); got != 0.5 {
+		t.Fatalf("Value = %v, want 0.5", got)
+	}
+	r.Reset()
+	if r.Total != 0 || r.Hits != 0 {
+		t.Fatalf("Reset did not clear")
+	}
+}
+
+func TestMean(t *testing.T) {
+	if got := Mean(nil); got != 0 {
+		t.Fatalf("Mean(nil) = %v", got)
+	}
+	if got := Mean([]float64{1, 2, 3, 4}); got != 2.5 {
+		t.Fatalf("Mean = %v, want 2.5", got)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean(nil); got != 0 {
+		t.Fatalf("GeoMean(nil) = %v", got)
+	}
+	got := GeoMean([]float64{2, 8})
+	if math.Abs(got-4) > 1e-12 {
+		t.Fatalf("GeoMean(2,8) = %v, want 4", got)
+	}
+}
+
+func TestGeoMeanRejectsNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("GeoMean of 0 did not panic")
+		}
+	}()
+	GeoMean([]float64{1, 0})
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 7, 2}
+	if Min(xs) != -1 {
+		t.Fatalf("Min = %v", Min(xs))
+	}
+	if Max(xs) != 7 {
+		t.Fatalf("Max = %v", Max(xs))
+	}
+	if Min(nil) != 0 || Max(nil) != 0 {
+		t.Fatalf("Min/Max of empty should be 0")
+	}
+}
+
+func TestSortedDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	out := Sorted(xs)
+	if !sort.Float64sAreSorted(out) {
+		t.Fatalf("Sorted result not sorted: %v", out)
+	}
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatalf("Sorted mutated input: %v", xs)
+	}
+}
+
+func TestGroup(t *testing.T) {
+	var g Group
+	g.Add("a", 2)
+	g.Add("b", 8)
+	if g.Len() != 2 {
+		t.Fatalf("Len = %d", g.Len())
+	}
+	if g.Mean() != 5 {
+		t.Fatalf("Mean = %v", g.Mean())
+	}
+	if math.Abs(g.GeoMean()-4) > 1e-12 {
+		t.Fatalf("GeoMean = %v", g.GeoMean())
+	}
+	if s := g.String(); s != "a=2.000 b=8.000" {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+// Property: the geometric mean lies between min and max, and equals the
+// arithmetic mean only when it must (we just check the bounds).
+func TestGeoMeanBoundsProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, r := range raw {
+			xs = append(xs, float64(r)+1) // positive
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		gm := GeoMean(xs)
+		return gm >= Min(xs)-1e-9 && gm <= Max(xs)+1e-9 && gm <= Mean(xs)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

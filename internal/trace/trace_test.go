@@ -1,0 +1,195 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"mcmgpu/internal/workload"
+)
+
+func smallSpec() *workload.Spec {
+	s, err := workload.ByName("BFS")
+	if err != nil {
+		panic(err)
+	}
+	return s.Scaled(0.05)
+}
+
+func TestRecordShape(t *testing.T) {
+	spec := smallSpec()
+	tr, err := Record(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Name != spec.Name {
+		t.Errorf("Name = %q", tr.Name)
+	}
+	if len(tr.Warps) != spec.CTAs*spec.WarpsPerCTA {
+		t.Fatalf("warps = %d, want %d", len(tr.Warps), spec.CTAs*spec.WarpsPerCTA)
+	}
+	if got, want := tr.Ops(), spec.CTAs*spec.WarpsPerCTA*spec.MemOpsPerWarp; got != want {
+		t.Fatalf("Ops = %d, want %d", got, want)
+	}
+}
+
+func TestRecordRejectsInvalidSpec(t *testing.T) {
+	bad := *smallSpec()
+	bad.CTAs = 0
+	if _, err := Record(&bad); err == nil {
+		t.Fatalf("invalid spec accepted")
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	tr, err := Record(smallSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	n, err := tr.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Errorf("WriteTo reported %d bytes, wrote %d", n, buf.Len())
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Equal(got) {
+		t.Fatalf("round trip lost data")
+	}
+}
+
+func TestCompression(t *testing.T) {
+	// Streaming traces delta-compress well: far below 8 bytes per line.
+	spec, err := workload.ByName("Stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := Record(spec.Scaled(0.05))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := tr.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s := tr.Summarize()
+	bytesPerLine := float64(buf.Len()) / float64(s.LineAccesses)
+	if bytesPerLine > 6 {
+		t.Errorf("trace encodes %.1f bytes/line; delta coding ineffective", bytesPerLine)
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte("NOPE"),
+		[]byte("MCMTgarbage that goes nowhere"),
+	}
+	for i, c := range cases {
+		if _, err := Read(bytes.NewReader(c)); err == nil {
+			t.Errorf("case %d: garbage accepted", i)
+		}
+	}
+}
+
+func TestReadRejectsWrongVersion(t *testing.T) {
+	var buf bytes.Buffer
+	buf.WriteString(magic)
+	buf.WriteByte(99) // version uvarint
+	if _, err := Read(&buf); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("wrong version accepted: %v", err)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	spec := smallSpec()
+	tr, err := Record(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tr.Summarize()
+	if s.Ops != tr.Ops() {
+		t.Errorf("Ops mismatch: %d vs %d", s.Ops, tr.Ops())
+	}
+	if s.UniqueLines == 0 || s.UniqueLines > s.LineAccesses {
+		t.Errorf("UniqueLines = %d of %d accesses", s.UniqueLines, s.LineAccesses)
+	}
+	if s.WriteFraction < 0.05 || s.WriteFraction > 0.5 {
+		t.Errorf("WriteFraction = %v, spec says %v", s.WriteFraction, spec.WriteFraction)
+	}
+	if s.ReuseFactor < 1 {
+		t.Errorf("ReuseFactor = %v, must be >= 1", s.ReuseFactor)
+	}
+	if s.FootprintMB <= 0 || s.FootprintMB > spec.ModelFootprintMB()+0.01 {
+		t.Errorf("FootprintMB = %v, spec footprint %v", s.FootprintMB, spec.ModelFootprintMB())
+	}
+}
+
+func TestDeterministicRecording(t *testing.T) {
+	a, err := Record(smallSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Record(smallSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(b) {
+		t.Fatalf("recording is nondeterministic")
+	}
+}
+
+func TestEqualDetectsDifferences(t *testing.T) {
+	a, _ := Record(smallSpec())
+	b, _ := Record(smallSpec())
+	b.Warps[0].Ops[0].Lines[0]++
+	if a.Equal(b) {
+		t.Fatalf("Equal missed a line difference")
+	}
+	c, _ := Record(smallSpec())
+	c.Name = "other"
+	if a.Equal(c) {
+		t.Fatalf("Equal missed a name difference")
+	}
+}
+
+// Property: zigzag coding round-trips all deltas.
+func TestZigzagRoundTripProperty(t *testing.T) {
+	f := func(d int64) bool { return unzigzag(zigzag(d)) == d }
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: every workload in the suite records and round-trips at tiny
+// scale.
+func TestSuiteRoundTripProperty(t *testing.T) {
+	for _, spec := range workload.Suite() {
+		small := spec.Scaled(0.02)
+		small.CTAs = 8 // keep traces tiny
+		if small.FootprintLines < uint64(small.CTAs)*2+small.SharedLines+small.ScatterLines {
+			small.FootprintLines = uint64(small.CTAs)*2 + small.SharedLines + small.ScatterLines
+		}
+		tr, err := Record(small)
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Name, err)
+		}
+		var buf bytes.Buffer
+		if _, err := tr.WriteTo(&buf); err != nil {
+			t.Fatalf("%s: %v", spec.Name, err)
+		}
+		got, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Name, err)
+		}
+		if !tr.Equal(got) {
+			t.Fatalf("%s: round trip lost data", spec.Name)
+		}
+	}
+}

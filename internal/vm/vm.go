@@ -1,0 +1,126 @@
+// Package vm implements the simulator's virtual-memory layer: the mapping
+// from virtual line addresses to memory partitions under the two page
+// placement policies the paper studies.
+//
+// The baseline policy interleaves addresses across all physical DRAM
+// partitions at cache-line granularity (Section 3.2). The first-touch policy
+// (Section 5.3) maps each page to a memory partition local to the module
+// whose SM touches it first; within that module, lines of the page are
+// interleaved across the module's partitions so channel-level parallelism is
+// preserved, mirroring the paper's per-partition channel interleaving.
+package vm
+
+import (
+	"fmt"
+	"math/bits"
+
+	"mcmgpu/internal/config"
+)
+
+// AddressMap translates virtual line addresses to memory partitions.
+// It is not safe for concurrent use.
+type AddressMap struct {
+	policy          config.PlacementKind
+	lineBytes       int
+	linesPerPage    uint64
+	pageShift       uint
+	partitions      int
+	partsPerModule  int
+	pages           map[uint64]int // page number -> owning module (first touch)
+	pagesPerModule  []int
+	firstTouchFills uint64
+}
+
+// NewAddressMap builds an address map for the machine described by cfg.
+func NewAddressMap(cfg *config.Config) *AddressMap {
+	linesPerPage := uint64(cfg.PageBytes / config.LineBytes)
+	m := &AddressMap{
+		policy:         cfg.Placement,
+		lineBytes:      config.LineBytes,
+		linesPerPage:   linesPerPage,
+		pageShift:      uint(bits.TrailingZeros64(linesPerPage)),
+		partitions:     cfg.TotalPartitions(),
+		partsPerModule: cfg.PartitionsPerModule,
+		pagesPerModule: make([]int, cfg.Modules),
+	}
+	if cfg.Placement == config.PlaceFirstTouch {
+		m.pages = make(map[uint64]int)
+	}
+	return m
+}
+
+// Policy returns the placement policy in force.
+func (m *AddressMap) Policy() config.PlacementKind { return m.policy }
+
+// Partition returns the memory partition holding the given virtual line
+// address. module is the module issuing the access; under first-touch
+// placement an unmapped page is bound to that module's local partitions.
+func (m *AddressMap) Partition(lineAddr uint64, module int) int {
+	switch m.policy {
+	case config.PlaceInterleave:
+		return int(lineAddr % uint64(m.partitions))
+	case config.PlaceFirstTouch:
+		page := lineAddr >> m.pageShift
+		owner, ok := m.pages[page]
+		if !ok {
+			owner = module
+			m.pages[page] = owner
+			m.pagesPerModule[owner]++
+			m.firstTouchFills++
+		}
+		// Interleave the page's lines across the owner's partitions to keep
+		// channel-level parallelism within the local memory system.
+		local := int(lineAddr % uint64(m.partsPerModule))
+		return owner*m.partsPerModule + local
+	}
+	panic(fmt.Sprintf("vm: unknown placement policy %v", m.policy))
+}
+
+// CacheAddr compacts a virtual line address into the address space a
+// memory-side L2 slice should index with. Lines reaching one partition share
+// their partition-selection bits (the low bits under interleave, the
+// intra-module interleave bits under first touch); indexing a slice with the
+// raw address would alias those bits into the set index and leave most sets
+// unused. The compaction divides those bits out and is injective within a
+// partition, so tags remain unambiguous.
+func (m *AddressMap) CacheAddr(lineAddr uint64) uint64 {
+	switch m.policy {
+	case config.PlaceInterleave:
+		return lineAddr / uint64(m.partitions)
+	case config.PlaceFirstTouch:
+		return lineAddr / uint64(m.partsPerModule)
+	}
+	panic(fmt.Sprintf("vm: unknown placement policy %v", m.policy))
+}
+
+// PageOwner returns the module owning the page containing lineAddr and
+// whether the page has been mapped. Under interleave placement pages have no
+// owner and ok is always false.
+func (m *AddressMap) PageOwner(lineAddr uint64) (module int, ok bool) {
+	if m.policy != config.PlaceFirstTouch {
+		return 0, false
+	}
+	owner, ok := m.pages[lineAddr>>m.pageShift]
+	return owner, ok
+}
+
+// MappedPages returns the number of pages bound by first touch.
+func (m *AddressMap) MappedPages() int { return len(m.pages) }
+
+// PagesPerModule returns, per module, how many pages first touch bound to
+// it. The slice is live; callers must not modify it.
+func (m *AddressMap) PagesPerModule() []int { return m.pagesPerModule }
+
+// Reset drops all page mappings, as when a new application starts. Page
+// mappings deliberately survive kernel boundaries within an application:
+// cross-kernel reuse of first-touch locality is the effect Figure 12 of the
+// paper illustrates.
+func (m *AddressMap) Reset() {
+	if m.pages != nil {
+		m.pages = make(map[uint64]int)
+		for i := range m.pagesPerModule {
+			m.pagesPerModule[i] = 0
+		}
+	}
+	m.firstTouchFills = 0
+}

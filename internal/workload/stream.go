@@ -1,0 +1,184 @@
+package workload
+
+// MaxLinesPerOp bounds the number of distinct cache lines one warp memory
+// operation can touch (a fully diverged warp on 128-byte lines).
+const MaxLinesPerOp = 8
+
+// Op is one warp-level step: Compute instructions followed by a memory
+// operation touching NumLines cache lines.
+type Op struct {
+	Compute  int
+	NumLines int
+	Lines    [MaxLinesPerOp]uint64
+	Write    bool
+}
+
+// rng is a splitmix64 generator: tiny, fast, allocation-free and
+// deterministic across platforms, which keeps access streams reproducible.
+type rng struct{ s uint64 }
+
+func (r *rng) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// intn returns a uniform value in [0, n). n must be positive.
+func (r *rng) intn(n uint64) uint64 { return r.next() % n }
+
+// chance returns true with probability p.
+func (r *rng) chance(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	return float64(r.next()>>11)*(1.0/(1<<53)) < p
+}
+
+// Stream generates the deterministic access stream of one warp within one
+// kernel launch. The stream depends only on (spec seed, CTA, warp), not on
+// the kernel iteration: convergence-loop launches replay the same accesses,
+// giving the cross-kernel locality of Figure 12.
+type Stream struct {
+	spec *Spec
+	cta  int
+	warp int // warp index within the CTA
+	op   int
+	ops  int // this CTA's per-warp op count (work imbalance)
+	r    rng
+
+	regionStart uint64
+	regionLen   uint64
+
+	recent  [8]uint64
+	nRecent int
+}
+
+// NewStream creates the access stream for warp w of CTA c.
+func NewStream(spec *Spec, cta, warp int) *Stream {
+	s := &Stream{spec: spec, cta: cta, warp: warp, ops: spec.OpsForCTA(cta)}
+	// Seed mixes the identifiers so distinct warps get decorrelated streams.
+	s.r = rng{s: spec.Seed ^ uint64(cta)*0x9e3779b97f4a7c15 ^ uint64(warp)*0xc2b2ae3d27d4eb4f}
+	reserved := spec.SharedLines + spec.ScatterLines
+	perCTA := (spec.FootprintLines - reserved) / uint64(spec.CTAs)
+	if perCTA == 0 {
+		perCTA = 1
+	}
+	s.regionStart = reserved + uint64(cta)*perCTA
+	s.regionLen = perCTA
+	return s
+}
+
+// Next fills op with the warp's next operation and reports whether one
+// remained.
+func (s *Stream) Next(op *Op) bool {
+	sp := s.spec
+	if s.op >= s.ops {
+		return false
+	}
+	i := s.op
+	s.op++
+
+	op.Compute = sp.ComputePerMem
+	op.Write = s.r.chance(sp.WriteFraction)
+	op.NumLines = sp.LinesPerOp
+
+	// Temporal reuse: re-touch a recently used line.
+	if s.nRecent > 0 && s.r.chance(sp.ReuseProb) {
+		base := s.recent[int(s.r.intn(uint64(s.nRecent)))]
+		for l := 0; l < op.NumLines; l++ {
+			op.Lines[l] = (base + uint64(l)) % sp.FootprintLines
+		}
+		return true
+	}
+
+	base := s.genBase(i)
+	coalesced := sp.Pattern != PatIrregular
+	for l := 0; l < op.NumLines; l++ {
+		var a uint64
+		switch {
+		case coalesced || l == 0:
+			a = (base + uint64(l)) % sp.FootprintLines
+		case sp.ScatterLines > 0:
+			// Diverged lanes scatter within the scatter region (a graph
+			// kernel's lanes chase different neighbors into the same
+			// auxiliary arrays).
+			a = sp.SharedLines + s.r.intn(sp.ScatterLines)
+		default:
+			a = s.r.intn(sp.FootprintLines)
+		}
+		op.Lines[l] = a
+	}
+	s.remember(op.Lines[0])
+	return true
+}
+
+// genBase produces the base line address for op index i according to the
+// spec's pattern and locality fractions.
+func (s *Stream) genBase(i int) uint64 {
+	sp := s.spec
+	roll := float64(s.r.next()>>11) * (1.0 / (1 << 53))
+
+	// Shared hot region.
+	if roll < sp.SharedFraction && sp.SharedLines > 0 {
+		return s.r.intn(sp.SharedLines)
+	}
+	roll -= sp.SharedFraction
+
+	// Halo accesses into the neighboring CTA's region.
+	if roll < sp.NeighborFraction {
+		dir := uint64(1)
+		if s.r.next()&1 == 0 && s.cta > 0 {
+			dir = ^uint64(0) // -1
+		}
+		nStart := s.regionStart + dir*s.regionLen
+		if nStart >= sp.FootprintLines || nStart < sp.SharedLines {
+			nStart = s.regionStart
+		}
+		// Halo touches the edge of the neighbor's region.
+		edge := s.r.intn(maxU64(1, s.regionLen/8))
+		return nStart + edge%s.regionLen
+	}
+	roll -= sp.NeighborFraction
+
+	// Scattered accesses: confined to the scatter region when one exists,
+	// uniform over the whole footprint otherwise.
+	if roll < sp.RandomFraction {
+		if sp.ScatterLines > 0 {
+			return sp.SharedLines + s.r.intn(sp.ScatterLines)
+		}
+		return s.r.intn(sp.FootprintLines)
+	}
+
+	// Own region, ordered by pattern.
+	seq := uint64(s.warp)*uint64(sp.MemOpsPerWarp) + uint64(i)
+	switch sp.Pattern {
+	case PatStrided:
+		stride := sp.Stride
+		if stride == 0 {
+			stride = 1
+		}
+		return s.regionStart + (seq*stride)%s.regionLen
+	case PatComputeTile:
+		// Re-walk a tile an eighth of the region (strong reuse).
+		tile := maxU64(1, s.regionLen/8)
+		return s.regionStart + seq%tile
+	default:
+		return s.regionStart + seq%s.regionLen
+	}
+}
+
+func (s *Stream) remember(a uint64) {
+	s.recent[s.op%len(s.recent)] = a
+	if s.nRecent < len(s.recent) {
+		s.nRecent++
+	}
+}
+
+func maxU64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,249 @@
+// Package workload synthesizes the 48-application suite the paper evaluates
+// (Section 4): 17 memory-intensive and 16 compute-intensive high-parallelism
+// applications plus 15 limited-parallelism applications, drawn from CORAL,
+// Lonestar, Rodinia and NVIDIA in-house benchmarks.
+//
+// The original CUDA applications and the traces the authors ran are not
+// available, so each application is modeled as a parameterized synthetic
+// kernel. The parameters capture exactly the properties the paper's three
+// optimizations exploit: available parallelism (CTA and warp counts),
+// memory intensity (compute-to-memory ratio and coalescing), working-set
+// size relative to the cache hierarchy, inter-CTA spatial locality
+// (neighbor sharing between consecutive CTA indices), temporal reuse, and
+// cross-kernel repetition from convergence loops. Access streams are
+// deterministic functions of (application, CTA, warp, op), so a CTA touches
+// the same pages on every kernel launch — the property first-touch
+// placement and distributed scheduling exploit together (Figure 12).
+package workload
+
+import (
+	"fmt"
+
+	"mcmgpu/internal/config"
+)
+
+// Category classifies applications as the paper does.
+type Category int
+
+const (
+	// MemoryIntensive applications lose >20% performance when memory
+	// bandwidth is halved (Section 4) and have enough parallelism to fill a
+	// 256-SM GPU.
+	MemoryIntensive Category = iota
+	// ComputeIntensive applications scale to 256 SMs but are bound by
+	// compute throughput rather than memory bandwidth.
+	ComputeIntensive
+	// LimitedParallelism applications cannot fill a 256-SM GPU
+	// (parallel efficiency < 25%).
+	LimitedParallelism
+)
+
+// String returns the category name used in the paper's figures.
+func (c Category) String() string {
+	switch c {
+	case MemoryIntensive:
+		return "M-Intensive"
+	case ComputeIntensive:
+		return "C-Intensive"
+	case LimitedParallelism:
+		return "Lim-Parallel"
+	}
+	return fmt.Sprintf("Category(%d)", int(c))
+}
+
+// Pattern selects the synthetic memory access pattern.
+type Pattern int
+
+const (
+	// PatStreaming touches the CTA's own region sequentially with perfect
+	// coalescing (STREAM, MiniAMR).
+	PatStreaming Pattern = iota
+	// PatStrided walks the CTA's region with a fixed stride (SRAD, NN-Conv).
+	PatStrided
+	// PatStencil touches the CTA's region sequentially plus a halo in the
+	// neighboring CTAs' regions (Lulesh, CoMD, CFD, Nekbone).
+	PatStencil
+	// PatIrregular scatters most accesses uniformly over the whole
+	// footprint with poor coalescing (BFS, SSSP, MST, AMG).
+	PatIrregular
+	// PatHotRegion concentrates a fraction of accesses on a small shared
+	// read-mostly region (Kmeans centroids, XSBench cross-section tables).
+	PatHotRegion
+	// PatComputeTile re-walks a small per-CTA tile with heavy compute
+	// between accesses (GEMM-like compute-intensive kernels).
+	PatComputeTile
+)
+
+// String returns the pattern name.
+func (p Pattern) String() string {
+	switch p {
+	case PatStreaming:
+		return "streaming"
+	case PatStrided:
+		return "strided"
+	case PatStencil:
+		return "stencil"
+	case PatIrregular:
+		return "irregular"
+	case PatHotRegion:
+		return "hot-region"
+	case PatComputeTile:
+		return "compute-tile"
+	}
+	return fmt.Sprintf("Pattern(%d)", int(p))
+}
+
+// Spec describes one synthetic application.
+type Spec struct {
+	Name     string
+	Category Category
+	Pattern  Pattern
+
+	// Parallelism.
+	CTAs        int // CTAs per kernel launch
+	WarpsPerCTA int
+
+	// Work per warp per kernel launch.
+	MemOpsPerWarp int
+	ComputePerMem int // warp compute instructions between memory ops
+	KernelIters   int // convergence-loop launches of the kernel
+
+	// Memory behavior. FootprintLines is the model working set in cache
+	// lines; PaperFootprintMB records Table 4's footprint for reporting.
+	FootprintLines   uint64
+	PaperFootprintMB int
+	WriteFraction    float64
+	LinesPerOp       int     // distinct lines touched per warp memory op (coalescing)
+	SharedFraction   float64 // accesses to the shared region
+	SharedLines      uint64
+	NeighborFraction float64 // accesses to the adjacent CTA's region
+	RandomFraction   float64 // scattered accesses (see ScatterLines)
+	// ScatterLines confines RandomFraction accesses to a dedicated region
+	// (e.g. a graph algorithm's visited/distance arrays) instead of the
+	// whole footprint; 0 scatters over everything. Keeping scatter traffic
+	// out of the CTA-partitioned data prevents it from stealing first-touch
+	// page bindings that belong to the owning CTA.
+	ScatterLines uint64
+	ReuseProb    float64 // chance of re-touching a recently used line
+	Stride       uint64  // line stride for PatStrided (0 = 1)
+
+	// WorkImbalance skews per-CTA work: CTA i executes MemOpsPerWarp scaled
+	// by a deterministic factor in [1-W, 1+W]. The paper observes two
+	// workloads whose unequal CTAs defeat coarse-grain distributed
+	// scheduling (Section 5.4); this knob reproduces them and motivates the
+	// dynamic (stealing) scheduler extension.
+	WorkImbalance float64
+
+	Seed uint64
+}
+
+// Validate reports the first inconsistency in the spec.
+func (s *Spec) Validate() error {
+	switch {
+	case s.Name == "":
+		return fmt.Errorf("workload: empty name")
+	case s.CTAs <= 0:
+		return fmt.Errorf("workload %s: CTAs = %d", s.Name, s.CTAs)
+	case s.WarpsPerCTA <= 0:
+		return fmt.Errorf("workload %s: WarpsPerCTA = %d", s.Name, s.WarpsPerCTA)
+	case s.MemOpsPerWarp <= 0:
+		return fmt.Errorf("workload %s: MemOpsPerWarp = %d", s.Name, s.MemOpsPerWarp)
+	case s.ComputePerMem < 0:
+		return fmt.Errorf("workload %s: ComputePerMem = %d", s.Name, s.ComputePerMem)
+	case s.KernelIters <= 0:
+		return fmt.Errorf("workload %s: KernelIters = %d", s.Name, s.KernelIters)
+	case s.LinesPerOp <= 0 || s.LinesPerOp > MaxLinesPerOp:
+		return fmt.Errorf("workload %s: LinesPerOp = %d (max %d)", s.Name, s.LinesPerOp, MaxLinesPerOp)
+	case s.FootprintLines < uint64(s.CTAs)+s.SharedLines+s.ScatterLines:
+		return fmt.Errorf("workload %s: footprint %d lines too small for %d CTAs + %d shared + %d scatter",
+			s.Name, s.FootprintLines, s.CTAs, s.SharedLines, s.ScatterLines)
+	case s.WriteFraction < 0 || s.WriteFraction > 1:
+		return fmt.Errorf("workload %s: WriteFraction = %v", s.Name, s.WriteFraction)
+	case s.SharedFraction+s.NeighborFraction+s.RandomFraction > 1:
+		return fmt.Errorf("workload %s: fractions sum to %v > 1",
+			s.Name, s.SharedFraction+s.NeighborFraction+s.RandomFraction)
+	case s.WorkImbalance < 0 || s.WorkImbalance > 1:
+		return fmt.Errorf("workload %s: WorkImbalance = %v", s.Name, s.WorkImbalance)
+	}
+	return nil
+}
+
+// OpsForCTA returns the per-warp memory operation count of one CTA,
+// applying the deterministic work-imbalance skew. The skew is a gradient
+// over the CTA index space — CTA 0 does (1-W)x the nominal work and the
+// last CTA (1+W)x — matching how imbalance arises in practice (triangular
+// solves, refinement regions): correlated with position, which is exactly
+// what defeats contiguous chunk scheduling. Uncorrelated per-CTA noise
+// would average out over a chunk and never unbalance modules.
+func (s *Spec) OpsForCTA(cta int) int {
+	if s.WorkImbalance <= 0 || s.CTAs <= 1 {
+		return s.MemOpsPerWarp
+	}
+	u := float64(cta) / float64(s.CTAs-1) // [0,1] across the index space
+	f := 1 + s.WorkImbalance*(2*u-1)
+	ops := int(float64(s.MemOpsPerWarp)*f + 0.5)
+	if ops < 1 {
+		ops = 1
+	}
+	return ops
+}
+
+// TotalWarps returns warps per kernel launch.
+func (s *Spec) TotalWarps() int { return s.CTAs * s.WarpsPerCTA }
+
+// TotalMemOps returns memory operations across all kernel launches,
+// accounting for per-CTA work imbalance.
+func (s *Spec) TotalMemOps() uint64 {
+	if s.WorkImbalance <= 0 {
+		return uint64(s.CTAs) * uint64(s.WarpsPerCTA) * uint64(s.MemOpsPerWarp) * uint64(s.KernelIters)
+	}
+	var total uint64
+	for cta := 0; cta < s.CTAs; cta++ {
+		total += uint64(s.OpsForCTA(cta))
+	}
+	return total * uint64(s.WarpsPerCTA) * uint64(s.KernelIters)
+}
+
+// ModelFootprintMB returns the model working set in MB.
+func (s *Spec) ModelFootprintMB() float64 {
+	return float64(s.FootprintLines) * float64(config.LineBytes) / float64(config.MB)
+}
+
+// Scaled returns a copy with per-warp work and footprint scaled by f, used
+// to trade fidelity for simulation time. Parallelism (CTAs, warps) and
+// locality structure are preserved. f must be positive.
+func (s *Spec) Scaled(f float64) *Spec {
+	if f <= 0 {
+		panic(fmt.Sprintf("workload %s: non-positive scale %v", s.Name, f))
+	}
+	out := *s
+	out.MemOpsPerWarp = maxInt(1, int(float64(s.MemOpsPerWarp)*f+0.5))
+	if s.SharedLines > 0 {
+		sh := uint64(float64(s.SharedLines)*f + 0.5)
+		if sh < 64 {
+			sh = 64
+		}
+		out.SharedLines = sh
+	}
+	if s.ScatterLines > 0 {
+		sc := uint64(float64(s.ScatterLines)*f + 0.5)
+		if sc < 64 {
+			sc = 64
+		}
+		out.ScatterLines = sc
+	}
+	fp := uint64(float64(s.FootprintLines)*f + 0.5)
+	min := uint64(s.CTAs)*2 + out.SharedLines + out.ScatterLines
+	if fp < min {
+		fp = min
+	}
+	out.FootprintLines = fp
+	return &out
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

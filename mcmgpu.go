@@ -1,0 +1,160 @@
+// Package mcmgpu is a simulator for Multi-Chip-Module GPUs, reproducing
+// "MCM-GPU: Multi-Chip-Module GPUs for Continued Performance Scalability"
+// (Arunkumar et al., ISCA 2017).
+//
+// The package lets you build the paper's systems — the 4-GPM MCM-GPU with
+// its locality optimizations (GPM-side L1.5 cache, distributed CTA
+// scheduling, first-touch page placement), monolithic GPUs from 32 to 256
+// SMs, and the two-GPU board-level system — and run the paper's 48
+// synthetic workloads on them:
+//
+//	res, err := mcmgpu.Run(mcmgpu.OptimizedMCM(), mcmgpu.MustWorkload("Stream"))
+//
+// Experiment drivers regenerate every table and figure of the paper's
+// evaluation; see Experiments and cmd/experiments.
+package mcmgpu
+
+import (
+	"fmt"
+
+	"mcmgpu/internal/analytic"
+	"mcmgpu/internal/config"
+	"mcmgpu/internal/core"
+	"mcmgpu/internal/report"
+	"mcmgpu/internal/workload"
+)
+
+// Re-exported model types. The aliases make the internal packages' types
+// part of the public API without duplicating them.
+type (
+	// Config describes one simulated GPU system.
+	Config = config.Config
+	// Result summarizes one workload execution.
+	Result = core.Result
+	// Spec describes one synthetic workload.
+	Spec = workload.Spec
+	// Table is a renderable experiment result.
+	Table = report.Table
+	// AnalyticModel is the Section 3.3.1 closed-form bandwidth model.
+	AnalyticModel = analytic.Model
+)
+
+// Workload categories, re-exported.
+const (
+	MemoryIntensive    = workload.MemoryIntensive
+	ComputeIntensive   = workload.ComputeIntensive
+	LimitedParallelism = workload.LimitedParallelism
+)
+
+// Policy constants, re-exported for building custom configurations.
+const (
+	SchedCentralized = config.SchedCentralized
+	SchedDistributed = config.SchedDistributed
+	PlaceInterleave  = config.PlaceInterleave
+	PlaceFirstTouch  = config.PlaceFirstTouch
+	AllocAll         = config.AllocAll
+	AllocRemoteOnly  = config.AllocRemoteOnly
+)
+
+// Byte-size helpers, re-exported.
+const (
+	KB = config.KB
+	MB = config.MB
+)
+
+// WithL15 returns a copy of a config with a module-side L1.5 cache of the
+// given total capacity and allocation policy, iso-transistor rebalanced
+// against the 16 MB L2 budget (Section 5.1.2).
+var WithL15 = config.WithL15
+
+// System presets (see internal/config for parameter provenance).
+var (
+	// BaselineMCM is the Table 3 baseline 4-GPM MCM-GPU.
+	BaselineMCM = config.BaselineMCM
+	// OptimizedMCM adds the remote-only L1.5, distributed CTA scheduling
+	// and first-touch placement (the paper's proposed design).
+	OptimizedMCM = config.OptimizedMCM
+	// OptimizedMCM16 is the optimized design with the 16 MB L1.5 split.
+	OptimizedMCM16 = config.OptimizedMCM16
+	// MCMWithLink is the baseline with a custom inter-GPM link bandwidth.
+	MCMWithLink = config.MCMWithLink
+	// Monolithic is a single-die GPU with the given SM count.
+	Monolithic = config.Monolithic
+	// LargestBuildableMonolithic is the 128-SM buildability limit.
+	LargestBuildableMonolithic = config.LargestBuildableMonolithic
+	// UnbuildableMonolithic is the hypothetical 256-SM single die.
+	UnbuildableMonolithic = config.UnbuildableMonolithic
+	// MultiGPUBaseline is the Section 6 two-GPU board-level system.
+	MultiGPUBaseline = config.MultiGPUBaseline
+	// MultiGPUOptimized adds GPU-side remote caching to it.
+	MultiGPUOptimized = config.MultiGPUOptimized
+)
+
+// Workload accessors, re-exported.
+var (
+	// Workloads returns all 48 applications.
+	Workloads = workload.Suite
+	// WorkloadByName looks up one application.
+	WorkloadByName = workload.ByName
+	// MIntensiveWorkloads returns the 17 Table 4 applications.
+	MIntensiveWorkloads = workload.MIntensive
+	// CIntensiveWorkloads returns the 16 compute-intensive applications.
+	CIntensiveWorkloads = workload.CIntensive
+	// LimitedWorkloads returns the 15 limited-parallelism applications.
+	LimitedWorkloads = workload.Limited
+)
+
+// MustWorkload returns the named workload or panics; convenient in examples
+// and tests where the name is a literal.
+func MustWorkload(name string) *Spec {
+	s, err := workload.ByName(name)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Run executes one workload on a fresh machine built from cfg.
+func Run(cfg *Config, spec *Spec) (*Result, error) {
+	m, err := core.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return m.Run(spec)
+}
+
+// RunScaled is Run with the workload's per-warp work and footprint scaled
+// by scale (1 = full size). Scaling trades fidelity for simulation speed
+// while preserving parallelism and locality structure.
+func RunScaled(cfg *Config, spec *Spec, scale float64) (*Result, error) {
+	if scale != 1 {
+		spec = spec.Scaled(scale)
+	}
+	return Run(cfg, spec)
+}
+
+// Speedup returns how much faster "sys" runs a workload than "base"
+// (>1 means sys is faster).
+func Speedup(base, sys *Result) float64 {
+	return sys.SpeedupOver(base)
+}
+
+// PaperAnalyticExample returns the Section 3.3.1 example model.
+func PaperAnalyticExample() AnalyticModel { return analytic.PaperExample() }
+
+// resultSet caches per-workload results for one system configuration.
+type resultSet map[string]*core.Result
+
+// runSuite executes the given workloads on cfg, returning results by
+// workload name.
+func runSuite(cfg *Config, specs []*Spec, scale float64) (resultSet, error) {
+	out := make(resultSet, len(specs))
+	for _, spec := range specs {
+		res, err := RunScaled(cfg, spec, scale)
+		if err != nil {
+			return nil, fmt.Errorf("%s on %s: %w", spec.Name, cfg.Name, err)
+		}
+		out[spec.Name] = res
+	}
+	return out, nil
+}
