@@ -16,11 +16,13 @@ import (
 	"testing"
 
 	"mcmgpu/internal/config"
+	"mcmgpu/internal/runner"
 )
 
-// benchOpts trades precision for benchmark runtime.
+// benchOpts trades precision for benchmark runtime. The run cache is off so
+// every iteration measures real simulation work, not memo lookups.
 func benchOpts() Options {
-	return Options{Scale: 0.15, MaxPerCategory: 3}
+	return Options{Scale: 0.15, MaxPerCategory: 3, NoCache: true}
 }
 
 // benchExperiment runs one experiment driver per iteration.
@@ -70,17 +72,77 @@ func BenchmarkHeadline(b *testing.B) {
 	var speedup float64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		base, err := runSuite(config.BaselineMCM(), opt.suite(), opt.scale())
+		base, err := opt.runSuite(config.BaselineMCM(), opt.suite())
 		if err != nil {
 			b.Fatal(err)
 		}
-		optRes, err := runSuite(config.OptimizedMCM(), opt.suite(), opt.scale())
+		optRes, err := opt.runSuite(config.OptimizedMCM(), opt.suite())
 		if err != nil {
 			b.Fatal(err)
 		}
 		speedup = geomeanSpeedup(base, optRes, opt.suite())
 	}
 	b.ReportMetric(speedup, "speedup/baseline")
+}
+
+// --- Parallel runner benchmarks ---
+
+// benchSuiteJobs builds the multi-config job list the runner benchmarks
+// share: four systems across the trimmed suite, the shape of a typical
+// figure driver.
+func benchSuiteJobs() []runner.Job {
+	o := benchOpts()
+	cfgs := []*Config{
+		config.BaselineMCM(),
+		config.OptimizedMCM(),
+		config.MCMWithLink(1536),
+		config.Monolithic(128),
+	}
+	var jobs []runner.Job
+	for _, c := range cfgs {
+		for _, s := range o.suite() {
+			jobs = append(jobs, runner.Job{Config: c, Spec: s, Scale: o.scale()})
+		}
+	}
+	return jobs
+}
+
+func benchSuiteRun(b *testing.B, r *runner.Runner) {
+	b.Helper()
+	jobs := benchSuiteJobs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := r.Run(jobs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res) != len(jobs) {
+			b.Fatalf("got %d results, want %d", len(res), len(jobs))
+		}
+	}
+}
+
+// BenchmarkSuiteSequential is the pre-runner baseline: one worker, no cache.
+func BenchmarkSuiteSequential(b *testing.B) {
+	benchSuiteRun(b, &runner.Runner{Workers: 1})
+}
+
+// BenchmarkSuiteParallel fans the same job list across GOMAXPROCS workers,
+// still uncached; the ratio to BenchmarkSuiteSequential is the worker-pool
+// speedup on this machine.
+func BenchmarkSuiteParallel(b *testing.B) {
+	benchSuiteRun(b, &runner.Runner{Workers: 0})
+}
+
+// BenchmarkSuiteMemoized measures the run cache: every iteration after the
+// warm-up is pure memo lookups, the cost an -exp all run pays when a figure
+// driver revisits the baseline suite.
+func BenchmarkSuiteMemoized(b *testing.B) {
+	r := &runner.Runner{Workers: 1, Cache: runner.NewCache()}
+	if _, err := r.Run(benchSuiteJobs()); err != nil {
+		b.Fatal(err)
+	}
+	benchSuiteRun(b, r)
 }
 
 // BenchmarkSimulatorThroughput measures raw simulation speed: simulated warp

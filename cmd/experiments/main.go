@@ -59,12 +59,14 @@ func renderBars(t *mcmgpu.Table) {
 
 func main() {
 	var (
-		exp   = flag.String("exp", "headline", "experiment id (table1..4, analytic, fig2..fig17, headline, all)")
-		scale = flag.Float64("scale", 1.0, "workload scale factor")
-		max   = flag.Int("max", 0, "limit workloads per category (0 = all)")
-		csv   = flag.Bool("csv", false, "emit CSV instead of text")
-		bars  = flag.Bool("bars", false, "render numeric columns as ASCII bar charts")
-		list  = flag.Bool("list", false, "list experiment ids")
+		exp     = flag.String("exp", "headline", "experiment id (table1..4, analytic, fig2..fig17, headline, all)")
+		scale   = flag.Float64("scale", 1.0, "workload scale factor")
+		max     = flag.Int("max", 0, "limit workloads per category (0 = all)")
+		jobs    = flag.Int("j", 0, "parallel simulation jobs (0 = GOMAXPROCS, 1 = sequential)")
+		nocache = flag.Bool("nocache", false, "disable the memoized run cache")
+		csv     = flag.Bool("csv", false, "emit CSV instead of text")
+		bars    = flag.Bool("bars", false, "render numeric columns as ASCII bar charts")
+		list    = flag.Bool("list", false, "list experiment ids")
 	)
 	flag.Parse()
 
@@ -82,7 +84,7 @@ func main() {
 		return
 	}
 
-	opt := mcmgpu.Options{Scale: *scale, MaxPerCategory: *max}
+	opt := mcmgpu.Options{Scale: *scale, MaxPerCategory: *max, Workers: *jobs, NoCache: *nocache}
 	var run []string
 	if *exp == "all" {
 		run = ids
@@ -116,5 +118,12 @@ func main() {
 			}
 			fmt.Printf("[%s in %v]\n\n", id, time.Since(start).Round(time.Millisecond))
 		}
+	}
+	if !*nocache {
+		// Stats go to stderr so table output stays byte-identical across
+		// -j settings and redirects.
+		s := mcmgpu.RunCacheStats()
+		fmt.Fprintf(os.Stderr, "run cache: %d simulations, %d hits, %d entries\n",
+			s.Simulations(), s.Hits, s.Entries)
 	}
 }

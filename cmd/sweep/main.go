@@ -5,10 +5,16 @@
 // conclusion implies: how much link bandwidth can architectural locality
 // buy back?
 //
+// The whole grid (baseline suite plus every grid point × workload) is
+// submitted as one job list to the parallel runner, so simulations fan out
+// across -j workers regardless of which grid point they belong to, and the
+// memoized run cache deduplicates any grid point that coincides with the
+// baseline. Output is byte-identical for any -j value.
+//
 // Usage:
 //
 //	sweep                                # default grid, all workloads
-//	sweep -links 384,768,1536 -l15 0,8,16 -scale 0.5
+//	sweep -links 384,768,1536 -l15 0,8,16 -scale 0.5 -j 8
 //	sweep -workloads m-intensive -csv out.csv
 package main
 
@@ -19,20 +25,23 @@ import (
 	"strconv"
 	"strings"
 
-	"mcmgpu"
 	"mcmgpu/internal/config"
+	"mcmgpu/internal/core"
+	"mcmgpu/internal/runner"
 	"mcmgpu/internal/stats"
 	"mcmgpu/internal/workload"
 )
 
 func main() {
 	var (
-		links  = flag.String("links", "384,768,1536,3072", "comma-separated inter-GPM link bandwidths (GB/s)")
-		l15s   = flag.String("l15", "0,8,16", "comma-separated total L1.5 capacities (MB, 0 = none)")
-		wl     = flag.String("workloads", "all", "workload selection (all, m-intensive, c-intensive, limited)")
-		scale  = flag.Float64("scale", 1.0, "workload scale factor")
-		opts   = flag.Bool("optimized", true, "apply distributed scheduling + first touch at every grid point")
-		csvOut = flag.String("csv", "", "write CSV to this file instead of stdout")
+		links   = flag.String("links", "384,768,1536,3072", "comma-separated inter-GPM link bandwidths (GB/s)")
+		l15s    = flag.String("l15", "0,8,16", "comma-separated total L1.5 capacities (MB, 0 = none)")
+		wl      = flag.String("workloads", "all", "workload selection (all, m-intensive, c-intensive, limited)")
+		scale   = flag.Float64("scale", 1.0, "workload scale factor")
+		opts    = flag.Bool("optimized", true, "apply distributed scheduling + first touch at every grid point")
+		jobs    = flag.Int("j", 0, "parallel simulation jobs (0 = GOMAXPROCS, 1 = sequential)")
+		nocache = flag.Bool("nocache", false, "disable the memoized run cache")
+		csvOut  = flag.String("csv", "", "write CSV to this file instead of stdout")
 	)
 	flag.Parse()
 
@@ -49,10 +58,52 @@ func main() {
 		fail(err)
 	}
 
-	base, err := runAll(config.BaselineMCM(), specs, *scale)
+	// Build every grid-point configuration up front, row-major over
+	// (l15, link), so the whole sweep can run as one job list.
+	var cfgs []*config.Config
+	for _, mb := range l15Vals {
+		for _, link := range linkVals {
+			cfg := config.MCMWithLink(link)
+			if mb > 0 {
+				keep := cfg.Link.GBps
+				cfg = config.WithL15(cfg, mb*config.MB, config.AllocRemoteOnly)
+				cfg.Link.GBps = keep
+			}
+			if *opts {
+				cfg.Scheduler = config.SchedDistributed
+				cfg.Placement = config.PlaceFirstTouch
+			}
+			cfg.Name = fmt.Sprintf("sweep-l15%dMB-link%g", mb, link)
+			cfgs = append(cfgs, cfg)
+		}
+	}
+
+	// One flat job list: the baseline suite first, then each grid point's
+	// suite. Results come back in job order, so slicing by suite size
+	// recovers the grid deterministically.
+	var jobList []runner.Job
+	addSuite := func(cfg *config.Config) {
+		for _, s := range specs {
+			jobList = append(jobList, runner.Job{Config: cfg, Spec: s, Scale: *scale})
+		}
+	}
+	base := config.BaselineMCM()
+	addSuite(base)
+	for _, cfg := range cfgs {
+		addSuite(cfg)
+	}
+
+	r := &runner.Runner{Workers: *jobs}
+	if !*nocache {
+		r.Cache = runner.Shared()
+	}
+	results, err := r.Run(jobList)
 	if err != nil {
 		fail(err)
 	}
+	n := len(specs)
+	baseRes := results[:n]
+	pointRes := func(i int) []*core.Result { return results[(i+1)*n : (i+2)*n] }
 
 	out := os.Stdout
 	if *csvOut != "" {
@@ -70,44 +121,18 @@ func main() {
 	}
 	fmt.Fprintln(out)
 
-	for _, mb := range l15Vals {
+	for row, mb := range l15Vals {
 		fmt.Fprintf(out, "%d", mb)
-		for _, link := range linkVals {
-			cfg := config.MCMWithLink(link)
-			if mb > 0 {
-				keep := cfg.Link.GBps
-				cfg = config.WithL15(cfg, mb*config.MB, config.AllocRemoteOnly)
-				cfg.Link.GBps = keep
-			}
-			if *opts {
-				cfg.Scheduler = config.SchedDistributed
-				cfg.Placement = config.PlaceFirstTouch
-			}
-			cfg.Name = fmt.Sprintf("sweep-l15%dMB-link%g", mb, link)
-			rs, err := runAll(cfg, specs, *scale)
-			if err != nil {
-				fail(err)
-			}
-			var sp []float64
-			for name, r := range rs {
-				sp = append(sp, r.SpeedupOver(base[name]))
+		for col := range linkVals {
+			rs := pointRes(row*len(linkVals) + col)
+			sp := make([]float64, n)
+			for i := range specs {
+				sp[i] = rs[i].SpeedupOver(baseRes[i])
 			}
 			fmt.Fprintf(out, ",%.4f", stats.GeoMean(sp))
 		}
 		fmt.Fprintln(out)
 	}
-}
-
-func runAll(cfg *config.Config, specs []*workload.Spec, scale float64) (map[string]*mcmgpu.Result, error) {
-	out := make(map[string]*mcmgpu.Result, len(specs))
-	for _, s := range specs {
-		r, err := mcmgpu.RunScaled(cfg.Clone(), s, scale)
-		if err != nil {
-			return nil, fmt.Errorf("%s on %s: %w", s.Name, cfg.Name, err)
-		}
-		out[s.Name] = r
-	}
-	return out, nil
 }
 
 func selectWorkloads(sel string) ([]*workload.Spec, error) {
@@ -133,7 +158,7 @@ func parseFloats(s string) ([]float64, error) {
 	for _, part := range strings.Split(s, ",") {
 		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
 		if err != nil {
-			return nil, fmt.Errorf("sweep: bad value %q: %w", part, err)
+			return nil, fmt.Errorf("bad value %q: %w", part, err)
 		}
 		out = append(out, v)
 	}
@@ -145,7 +170,7 @@ func parseInts(s string) ([]int, error) {
 	for _, part := range strings.Split(s, ",") {
 		v, err := strconv.Atoi(strings.TrimSpace(part))
 		if err != nil {
-			return nil, fmt.Errorf("sweep: bad value %q: %w", part, err)
+			return nil, fmt.Errorf("bad value %q: %w", part, err)
 		}
 		out = append(out, v)
 	}

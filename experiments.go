@@ -20,6 +20,16 @@ type Options struct {
 	// MaxPerCategory, when positive, trims the suite to the first N
 	// workloads of each category for quick runs.
 	MaxPerCategory int
+	// Workers is the simulation-job parallelism (0 = GOMAXPROCS, 1 =
+	// sequential). Parallel runs produce byte-identical tables; see
+	// internal/runner for the determinism contract.
+	Workers int
+	// NoCache bypasses the process-wide run cache, forcing every suite to
+	// simulate from scratch. Benchmarks measuring raw simulator speed set
+	// this; experiment drivers leave it off so repeated reference suites
+	// (the baseline MCM, the 6 TB/s link, the monolithic bounds) are
+	// simulated once per process.
+	NoCache bool
 }
 
 func (o Options) scale() float64 {
@@ -179,7 +189,7 @@ func AnalyticTable() *Table {
 func Fig2(o Options) (*Table, error) {
 	suite := o.suite()
 	sms := []int{32, 64, 96, 128, 160, 192, 224, 256}
-	base, err := runSuite(config.Monolithic(32), suite, o.scale())
+	base, err := o.runSuite(config.Monolithic(32), suite)
 	if err != nil {
 		return nil, err
 	}
@@ -192,7 +202,7 @@ func Fig2(o Options) (*Table, error) {
 		if n == 32 {
 			rs = base
 		} else {
-			rs, err = runSuite(config.Monolithic(n), suite, o.scale())
+			rs, err = o.runSuite(config.Monolithic(n), suite)
 			if err != nil {
 				return nil, err
 			}
@@ -207,7 +217,7 @@ func Fig2(o Options) (*Table, error) {
 // to inter-GPM link bandwidth, relative to an abundant 6 TB/s setting.
 func Fig4(o Options) (*Table, error) {
 	suite := o.suite()
-	ref, err := runSuite(config.MCMWithLink(6144), suite, o.scale())
+	ref, err := o.runSuite(config.MCMWithLink(6144), suite)
 	if err != nil {
 		return nil, err
 	}
@@ -221,7 +231,7 @@ func Fig4(o Options) (*Table, error) {
 		if l == 6144 {
 			rs = ref
 		} else {
-			rs, err = runSuite(config.MCMWithLink(l), suite, o.scale())
+			rs, err = o.runSuite(config.MCMWithLink(l), suite)
 			if err != nil {
 				return nil, err
 			}
@@ -254,14 +264,14 @@ func fig6Configs() []*Config {
 // memory-intensive application plus category geomeans.
 func Fig6(o Options) (*Table, error) {
 	suite := o.suite()
-	base, err := runSuite(config.BaselineMCM(), suite, o.scale())
+	base, err := o.runSuite(config.BaselineMCM(), suite)
 	if err != nil {
 		return nil, err
 	}
 	cfgs := fig6Configs()
 	results := make([]resultSet, len(cfgs))
 	for i, c := range cfgs {
-		if results[i], err = runSuite(c, suite, o.scale()); err != nil {
+		if results[i], err = o.runSuite(c, suite); err != nil {
 			return nil, err
 		}
 	}
@@ -339,11 +349,11 @@ func Fig14(o Options) (*Table, error) {
 // the baseline MCM-GPU across all 48 workloads, sorted ascending.
 func Fig15(o Options) (*Table, error) {
 	suite := o.suite()
-	base, err := runSuite(config.BaselineMCM(), suite, o.scale())
+	base, err := o.runSuite(config.BaselineMCM(), suite)
 	if err != nil {
 		return nil, err
 	}
-	opt, err := runSuite(config.OptimizedMCM(), suite, o.scale())
+	opt, err := o.runSuite(config.OptimizedMCM(), suite)
 	if err != nil {
 		return nil, err
 	}
@@ -376,7 +386,7 @@ func Fig15(o Options) (*Table, error) {
 // as average speedup over the baseline MCM-GPU.
 func Fig16(o Options) (*Table, error) {
 	suite := o.suite()
-	base, err := runSuite(config.BaselineMCM(), suite, o.scale())
+	base, err := o.runSuite(config.BaselineMCM(), suite)
 	if err != nil {
 		return nil, err
 	}
@@ -391,7 +401,7 @@ func Fig16(o Options) (*Table, error) {
 	t := report.New("Figure 16: optimization breakdown, geomean speedup over baseline MCM-GPU (%)",
 		"System", "Speedup (%)")
 	for _, nc := range systems {
-		rs, err := runSuite(nc.cfg, suite, o.scale())
+		rs, err := o.runSuite(nc.cfg, suite)
 		if err != nil {
 			return nil, err
 		}
@@ -405,7 +415,7 @@ func Fig16(o Options) (*Table, error) {
 // system with the same total SMs and DRAM bandwidth.
 func Fig17(o Options) (*Table, error) {
 	suite := o.suite()
-	base, err := runSuite(config.MultiGPUBaseline(), suite, o.scale())
+	base, err := o.runSuite(config.MultiGPUBaseline(), suite)
 	if err != nil {
 		return nil, err
 	}
@@ -422,7 +432,7 @@ func Fig17(o Options) (*Table, error) {
 		var rs resultSet
 		if nc.name == "Baseline multi-GPU" {
 			rs = base
-		} else if rs, err = runSuite(nc.cfg, suite, o.scale()); err != nil {
+		} else if rs, err = o.runSuite(nc.cfg, suite); err != nil {
 			return nil, err
 		}
 		t.AddRowF(nc.name, geomeanSpeedup(base, rs, suite))
@@ -439,7 +449,7 @@ func Fig17(o Options) (*Table, error) {
 // relative to the unbuildable 256-SM monolithic die.
 func GPMScale(o Options) (*Table, error) {
 	suite := o.suite()
-	mono, err := runSuite(config.UnbuildableMonolithic(), suite, o.scale())
+	mono, err := o.runSuite(config.UnbuildableMonolithic(), suite)
 	if err != nil {
 		return nil, err
 	}
@@ -447,7 +457,7 @@ func GPMScale(o Options) (*Table, error) {
 		"GPMs", "SMs/GPM", "Topology", "Perf vs monolithic-256", "Mean inter-GPM GB/s")
 	for _, gpms := range []int{2, 4, 8, 16} {
 		cfg := config.MCMGPMs(gpms)
-		rs, err := runSuite(cfg, suite, o.scale())
+		rs, err := o.runSuite(cfg, suite)
 		if err != nil {
 			return nil, err
 		}
@@ -473,7 +483,7 @@ func EnergyTable(o Options) (*Table, error) {
 	t := report.New("Section 6.2: data-movement energy (mJ, summed over the suite)",
 		"System", "Chip", "Package", "Board", "DRAM", "Total", "Link pJ/byte moved")
 	for _, nc := range systems {
-		rs, err := runSuite(nc.cfg, suite, o.scale())
+		rs, err := o.runSuite(nc.cfg, suite)
 		if err != nil {
 			return nil, err
 		}
@@ -510,7 +520,7 @@ func Headline(o Options) (*Table, error) {
 	rs := map[string]resultSet{}
 	for k, c := range cfgs {
 		var err error
-		if rs[k], err = runSuite(c, suite, o.scale()); err != nil {
+		if rs[k], err = o.runSuite(c, suite); err != nil {
 			return nil, err
 		}
 	}
@@ -562,13 +572,13 @@ func l15DS16() *Config {
 // speedups plus category geomeans.
 func speedupTable(o Options, title, note string, systems ...namedCfg) (*Table, error) {
 	suite := o.suite()
-	base, err := runSuite(config.BaselineMCM(), suite, o.scale())
+	base, err := o.runSuite(config.BaselineMCM(), suite)
 	if err != nil {
 		return nil, err
 	}
 	results := make([]resultSet, len(systems))
 	for i, nc := range systems {
-		if results[i], err = runSuite(nc.cfg, suite, o.scale()); err != nil {
+		if results[i], err = o.runSuite(nc.cfg, suite); err != nil {
 			return nil, err
 		}
 	}
@@ -599,13 +609,13 @@ func speedupTable(o Options, title, note string, systems ...namedCfg) (*Table, e
 // per-category inter-GPM bandwidth.
 func interGPMTable(o Options, title, note string, systems ...namedCfg) (*Table, error) {
 	suite := o.suite()
-	base, err := runSuite(config.BaselineMCM(), suite, o.scale())
+	base, err := o.runSuite(config.BaselineMCM(), suite)
 	if err != nil {
 		return nil, err
 	}
 	results := make([]resultSet, len(systems))
 	for i, nc := range systems {
-		if results[i], err = runSuite(nc.cfg, suite, o.scale()); err != nil {
+		if results[i], err = o.runSuite(nc.cfg, suite); err != nil {
 			return nil, err
 		}
 	}
@@ -634,16 +644,18 @@ func interGPMTable(o Options, title, note string, systems ...namedCfg) (*Table, 
 }
 
 // Experiments maps experiment IDs to their drivers, for the CLI and tests.
+// Static tables are wrapped lazily: building the map (e.g. to list IDs) does
+// no table construction; a driver builds its table only when invoked.
 func Experiments() map[string]func(Options) (*Table, error) {
-	static := func(t *Table) func(Options) (*Table, error) {
-		return func(Options) (*Table, error) { return t, nil }
+	static := func(build func() *Table) func(Options) (*Table, error) {
+		return func(Options) (*Table, error) { return build(), nil }
 	}
 	return map[string]func(Options) (*Table, error){
-		"table1":   static(Table1()),
-		"table2":   static(Table2()),
-		"table3":   static(Table3()),
-		"table4":   static(Table4()),
-		"analytic": static(AnalyticTable()),
+		"table1":   static(Table1),
+		"table2":   static(Table2),
+		"table3":   static(Table3),
+		"table4":   static(Table4),
+		"analytic": static(AnalyticTable),
 		"fig2":     Fig2,
 		"fig4":     Fig4,
 		"fig6":     Fig6,

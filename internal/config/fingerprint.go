@@ -1,0 +1,25 @@
+package config
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+)
+
+// Fingerprint returns a canonical hash of every architectural parameter of
+// the configuration. Two configs with the same fingerprint describe the same
+// machine and must produce identical simulation results; the Name field is
+// presentation-only and is deliberately excluded, so renaming a preset (as
+// the experiment drivers do for display) never defeats run memoization.
+//
+// The canonical form is the Go-syntax rendering of a Name-cleared copy of
+// the struct, which covers every field — including ones added later —
+// without a hand-maintained list. Config holds only value-typed fields
+// (asserted by TestConfigHasNoReferenceFields), so the rendering is a
+// complete description of the machine.
+func (c *Config) Fingerprint() string {
+	canon := *c
+	canon.Name = ""
+	h := sha256.Sum256([]byte(fmt.Sprintf("%#v", canon)))
+	return hex.EncodeToString(h[:16])
+}

@@ -1,0 +1,98 @@
+package config
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestFingerprintIgnoresName(t *testing.T) {
+	a := BaselineMCM()
+	b := BaselineMCM()
+	b.Name = "something-else-entirely"
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatalf("fingerprint depends on Name: %s vs %s", a.Fingerprint(), b.Fingerprint())
+	}
+}
+
+func TestFingerprintStable(t *testing.T) {
+	a := BaselineMCM()
+	if a.Fingerprint() != a.Fingerprint() {
+		t.Fatal("fingerprint not deterministic")
+	}
+	if a.Fingerprint() == OptimizedMCM().Fingerprint() {
+		t.Fatal("distinct presets share a fingerprint")
+	}
+}
+
+// perturbLeaves visits every settable leaf field of v (recursing into
+// structs), calling fn with a mutator that nudges just that leaf.
+func perturbLeaves(t *testing.T, v reflect.Value, path string, fn func(path string, mutate func())) {
+	t.Helper()
+	for i := 0; i < v.NumField(); i++ {
+		f := v.Field(i)
+		name := path + v.Type().Field(i).Name
+		switch f.Kind() {
+		case reflect.Struct:
+			perturbLeaves(t, f, name+".", fn)
+		case reflect.Int, reflect.Int64:
+			fn(name, func() { f.SetInt(f.Int() + 1) })
+		case reflect.Uint64:
+			fn(name, func() { f.SetUint(f.Uint() + 1) })
+		case reflect.Float64:
+			fn(name, func() { f.SetFloat(f.Float()*2 + 1) })
+		case reflect.Bool:
+			fn(name, func() { f.SetBool(!f.Bool()) })
+		case reflect.String:
+			fn(name, func() { f.SetString(f.String() + "-x") })
+		default:
+			t.Fatalf("field %s has unhandled kind %v; extend the perturber", name, f.Kind())
+		}
+	}
+}
+
+// TestFingerprintCoversEveryParameter perturbs each leaf field of Config in
+// turn and asserts the fingerprint moves for every architectural parameter
+// (and only stays put for Name). This keeps the fingerprint honest as fields
+// are added: a new field is covered automatically, and a fingerprint that
+// started skipping one would fail here.
+func TestFingerprintCoversEveryParameter(t *testing.T) {
+	base := BaselineMCM().Fingerprint()
+	c := BaselineMCM()
+	perturbLeaves(t, reflect.ValueOf(c).Elem(), "", func(path string, mutate func()) {
+		fresh := BaselineMCM()
+		*c = *fresh
+		mutate()
+		got := c.Fingerprint()
+		if path == "Name" {
+			if got != base {
+				t.Errorf("Name perturbation changed the fingerprint")
+			}
+			return
+		}
+		if got == base {
+			t.Errorf("perturbing %s did not change the fingerprint", path)
+		}
+	})
+}
+
+// TestConfigHasNoReferenceFields locks in the property the fingerprint and
+// Clone rely on: Config is a pure value type, so a struct copy is a deep
+// copy and %#v renders the whole machine description.
+func TestConfigHasNoReferenceFields(t *testing.T) {
+	assertValueOnly(t, reflect.TypeOf(Config{}), "Config")
+}
+
+func assertValueOnly(t *testing.T, typ reflect.Type, path string) {
+	t.Helper()
+	switch typ.Kind() {
+	case reflect.Ptr, reflect.Slice, reflect.Map, reflect.Chan, reflect.Func, reflect.Interface, reflect.UnsafePointer:
+		t.Errorf("%s is a reference type (%v); Clone and Fingerprint assume value semantics", path, typ.Kind())
+	case reflect.Struct:
+		for i := 0; i < typ.NumField(); i++ {
+			f := typ.Field(i)
+			assertValueOnly(t, f.Type, path+"."+f.Name)
+		}
+	case reflect.Array:
+		assertValueOnly(t, typ.Elem(), path+"[]")
+	}
+}

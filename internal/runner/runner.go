@@ -1,0 +1,231 @@
+// Package runner executes simulation jobs across a pool of goroutines and
+// memoizes their results process-wide.
+//
+// Every simulated Machine is fully independent — one event heap, no shared
+// mutable state — so a (config, workload, scale) job list is embarrassingly
+// parallel. The runner fans jobs across workers and assembles results by job
+// index, which makes the output a pure function of the job list: parallel
+// execution is byte-identical to sequential execution. That determinism is
+// the correctness contract of this layer, asserted by the package tests and
+// by TestExperimentsDeterministicAcrossWorkers at the facade.
+//
+// The optional Cache memoizes results under a canonical fingerprint of the
+// full architectural configuration plus the workload spec and scale, so an
+// experiment sweep that revisits a system (every figure driver re-runs the
+// baseline MCM suite) performs each distinct simulation exactly once per
+// process. Entries are single-flight: concurrent requests for the same key
+// share one simulation rather than racing to duplicate it.
+package runner
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"mcmgpu/internal/config"
+	"mcmgpu/internal/core"
+	"mcmgpu/internal/workload"
+)
+
+// Job is one simulation: a workload on a machine at a given scale.
+type Job struct {
+	Config *config.Config
+	Spec   *workload.Spec
+	// Scale multiplies per-warp work and footprints; values <= 0 or == 1
+	// run the spec at full size.
+	Scale float64
+}
+
+// key returns the memoization key: the architectural fingerprint of the
+// machine (Name excluded), the full spec fingerprint, and the scale.
+func (j Job) key() string {
+	scale := j.Scale
+	if scale <= 0 {
+		scale = 1
+	}
+	return fmt.Sprintf("%s|%s|%g", j.Config.Fingerprint(), j.Spec.Fingerprint(), scale)
+}
+
+// run performs the simulation. The config is cloned so concurrent jobs
+// sharing one *Config can never observe each other through it.
+func (j Job) run() (*core.Result, error) {
+	spec := j.Spec
+	if j.Scale > 0 && j.Scale != 1 {
+		spec = spec.Scaled(j.Scale)
+	}
+	m, err := core.New(j.Config.Clone())
+	if err != nil {
+		return nil, err
+	}
+	return m.Run(spec)
+}
+
+// Runner executes job lists. The zero value runs with GOMAXPROCS workers and
+// no memoization.
+type Runner struct {
+	// Workers is the goroutine pool size; <= 0 means runtime.GOMAXPROCS(0).
+	// Workers == 1 is strictly sequential.
+	Workers int
+	// Cache, when non-nil, memoizes results across Run calls.
+	Cache *Cache
+}
+
+func (r *Runner) workers() int {
+	if r.Workers > 0 {
+		return r.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Run executes the jobs and returns results in job order. On failure it
+// returns the error of the lowest-indexed failing job, annotated with the
+// workload and config names; remaining unstarted jobs are abandoned.
+func (r *Runner) Run(jobs []Job) ([]*core.Result, error) {
+	results := make([]*core.Result, len(jobs))
+	errs := make([]error, len(jobs))
+	n := r.workers()
+	if n > len(jobs) {
+		n = len(jobs)
+	}
+	var (
+		next   atomic.Int64
+		failed atomic.Bool
+		wg     sync.WaitGroup
+	)
+	for w := 0; w < n; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(jobs) || failed.Load() {
+					return
+				}
+				res, err := r.runJob(jobs[i])
+				if err != nil {
+					errs[i] = err
+					failed.Store(true)
+					return
+				}
+				results[i] = res
+			}
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("%s on %s: %w", jobs[i].Spec.Name, jobs[i].Config.Name, err)
+		}
+	}
+	return results, nil
+}
+
+func (r *Runner) runJob(j Job) (*core.Result, error) {
+	if r.Cache == nil {
+		return j.run()
+	}
+	return r.Cache.do(j.key(), j.run)
+}
+
+// RunSuite executes the given workloads on one configuration and returns
+// results keyed by workload name.
+func (r *Runner) RunSuite(cfg *config.Config, specs []*workload.Spec, scale float64) (map[string]*core.Result, error) {
+	jobs := make([]Job, len(specs))
+	for i, s := range specs {
+		jobs[i] = Job{Config: cfg, Spec: s, Scale: scale}
+	}
+	results, err := r.Run(jobs)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]*core.Result, len(specs))
+	for i, s := range specs {
+		out[s.Name] = results[i]
+	}
+	return out, nil
+}
+
+// Stats reports cache effectiveness.
+type Stats struct {
+	// Hits counts requests satisfied by (or coalesced onto) an existing
+	// entry; Misses counts requests that performed a simulation.
+	Hits, Misses uint64
+	// Entries is the number of distinct (config, workload, scale) results
+	// held.
+	Entries int
+}
+
+// Simulations returns how many simulations the cache actually executed.
+func (s Stats) Simulations() uint64 { return s.Misses }
+
+// Cache is a concurrency-safe, single-flight memoization table for
+// simulation results. Results are returned as copies so callers can never
+// alias each other through the cache.
+type Cache struct {
+	mu      sync.Mutex
+	entries map[string]*entry
+	hits    atomic.Uint64
+	misses  atomic.Uint64
+}
+
+type entry struct {
+	once sync.Once
+	res  *core.Result
+	err  error
+}
+
+// NewCache returns an empty cache.
+func NewCache() *Cache {
+	return &Cache{entries: map[string]*entry{}}
+}
+
+// do returns the memoized result for key, running fn at most once per key.
+// Errors are memoized too: a config that fails validation fails the same way
+// on every retry, so re-running it buys nothing.
+func (c *Cache) do(key string, fn func() (*core.Result, error)) (*core.Result, error) {
+	c.mu.Lock()
+	e, ok := c.entries[key]
+	if !ok {
+		e = &entry{}
+		c.entries[key] = e
+	}
+	c.mu.Unlock()
+	if ok {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
+	e.once.Do(func() { e.res, e.err = fn() })
+	if e.err != nil {
+		return nil, e.err
+	}
+	out := *e.res
+	return &out, nil
+}
+
+// Stats returns a snapshot of cache effectiveness counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	n := len(c.entries)
+	c.mu.Unlock()
+	return Stats{Hits: c.hits.Load(), Misses: c.misses.Load(), Entries: n}
+}
+
+// Reset discards all entries and zeroes the counters.
+func (c *Cache) Reset() {
+	c.mu.Lock()
+	c.entries = map[string]*entry{}
+	c.mu.Unlock()
+	c.hits.Store(0)
+	c.misses.Store(0)
+}
+
+// shared is the process-wide cache used by the experiment drivers: one
+// instance so repeated reference suites (the baseline MCM, the 6 TB/s
+// reference, the monolithic bounds) are simulated once per process no matter
+// how many experiments an invocation runs.
+var shared = NewCache()
+
+// Shared returns the process-wide run cache.
+func Shared() *Cache { return shared }

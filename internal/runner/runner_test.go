@@ -1,0 +1,234 @@
+package runner
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"mcmgpu/internal/config"
+	"mcmgpu/internal/workload"
+)
+
+// testJobs builds a small multi-config, multi-workload job list.
+func testJobs(t *testing.T) []Job {
+	t.Helper()
+	specs := []*workload.Spec{
+		mustSpec(t, "CFD"), mustSpec(t, "GEMM"), mustSpec(t, "NW"),
+	}
+	cfgs := []*config.Config{
+		config.BaselineMCM(), config.OptimizedMCM(), config.Monolithic(64),
+	}
+	var jobs []Job
+	for _, c := range cfgs {
+		for _, s := range specs {
+			jobs = append(jobs, Job{Config: c, Spec: s, Scale: 0.05})
+		}
+	}
+	return jobs
+}
+
+func mustSpec(t *testing.T, name string) *workload.Spec {
+	t.Helper()
+	s, err := workload.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestParallelMatchesSequential is the layer's correctness contract: the
+// result list is a pure function of the job list, independent of worker
+// count and of whether a cache is attached.
+func TestParallelMatchesSequential(t *testing.T) {
+	jobs := testJobs(t)
+	seq := &Runner{Workers: 1}
+	want, err := seq.Run(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 8} {
+		for _, cache := range []*Cache{nil, NewCache()} {
+			par := &Runner{Workers: workers, Cache: cache}
+			got, err := par.Run(jobs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range jobs {
+				if !reflect.DeepEqual(want[i], got[i]) {
+					t.Fatalf("workers=%d cache=%v: job %d (%s on %s) diverged:\nseq: %+v\npar: %+v",
+						workers, cache != nil, i, jobs[i].Spec.Name, jobs[i].Config.Name, want[i], got[i])
+				}
+			}
+		}
+	}
+}
+
+// TestCacheAccounting asserts the memoization contract: a second identical
+// suite run performs zero simulations.
+func TestCacheAccounting(t *testing.T) {
+	jobs := testJobs(t)
+	cache := NewCache()
+	r := &Runner{Workers: 4, Cache: cache}
+	first, err := r.Run(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := cache.Stats()
+	if s.Simulations() != uint64(len(jobs)) || s.Hits != 0 {
+		t.Fatalf("after first run: %+v, want %d simulations, 0 hits", s, len(jobs))
+	}
+	second, err := r.Run(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s = cache.Stats()
+	if s.Simulations() != uint64(len(jobs)) {
+		t.Fatalf("second identical run simulated: %+v, want simulations to stay %d", s, len(jobs))
+	}
+	if s.Hits != uint64(len(jobs)) {
+		t.Fatalf("second run hits = %d, want %d", s.Hits, len(jobs))
+	}
+	if s.Entries != len(jobs) {
+		t.Fatalf("entries = %d, want %d", s.Entries, len(jobs))
+	}
+	for i := range jobs {
+		if !reflect.DeepEqual(first[i], second[i]) {
+			t.Fatalf("cached result %d differs from original", i)
+		}
+		if first[i] == second[i] {
+			t.Fatalf("cache returned an aliased pointer for job %d", i)
+		}
+	}
+	cache.Reset()
+	if s := cache.Stats(); s.Entries != 0 || s.Hits != 0 || s.Misses != 0 {
+		t.Fatalf("after Reset: %+v, want all zero", s)
+	}
+}
+
+// TestCacheIgnoresConfigName asserts renaming a preset (as the experiment
+// drivers do for display) still hits the cache, while changing an
+// architectural parameter misses.
+func TestCacheIgnoresConfigName(t *testing.T) {
+	spec := mustSpec(t, "CFD")
+	cache := NewCache()
+	r := &Runner{Workers: 1, Cache: cache}
+	a := config.BaselineMCM()
+	b := config.BaselineMCM()
+	b.Name = "renamed-for-display"
+	c := config.BaselineMCM()
+	c.Link.GBps = 384
+	for _, cfg := range []*config.Config{a, b, c} {
+		if _, err := r.Run([]Job{{Config: cfg, Spec: spec, Scale: 0.05}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := cache.Stats()
+	if s.Simulations() != 2 || s.Hits != 1 {
+		t.Fatalf("stats = %+v, want 2 simulations (baseline + changed link) and 1 hit (rename)", s)
+	}
+}
+
+// TestDuplicateJobsSingleFlight asserts concurrent duplicates of one key
+// coalesce onto a single simulation.
+func TestDuplicateJobsSingleFlight(t *testing.T) {
+	spec := mustSpec(t, "NW")
+	cfg := config.BaselineMCM()
+	jobs := make([]Job, 16)
+	for i := range jobs {
+		jobs[i] = Job{Config: cfg, Spec: spec, Scale: 0.05}
+	}
+	cache := NewCache()
+	r := &Runner{Workers: 8, Cache: cache}
+	res, err := r.Run(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := cache.Stats(); s.Simulations() != 1 {
+		t.Fatalf("16 duplicate jobs ran %d simulations, want 1 (stats %+v)", s.Simulations(), s)
+	}
+	for i := 1; i < len(res); i++ {
+		if !reflect.DeepEqual(res[0], res[i]) {
+			t.Fatalf("duplicate job %d returned a different result", i)
+		}
+	}
+}
+
+// TestErrorPropagation asserts one failing job surfaces the lowest-indexed
+// error, annotated with workload and config names, for any worker count.
+func TestErrorPropagation(t *testing.T) {
+	spec := mustSpec(t, "CFD")
+	bad := config.BaselineMCM()
+	bad.Name = "bad-config"
+	bad.Modules = 0 // fails Validate inside core.New
+	jobs := testJobs(t)
+	jobs = append(jobs[:4:4], append([]Job{{Config: bad, Spec: spec, Scale: 0.05}}, jobs[4:]...)...)
+	for _, workers := range []int{1, 4} {
+		r := &Runner{Workers: workers}
+		res, err := r.Run(jobs)
+		if err == nil {
+			t.Fatalf("workers=%d: failing job did not surface an error", workers)
+		}
+		if res != nil {
+			t.Fatalf("workers=%d: results returned alongside error", workers)
+		}
+		if !strings.Contains(err.Error(), "CFD on bad-config") {
+			t.Fatalf("workers=%d: error %q does not name the failing job", workers, err)
+		}
+	}
+}
+
+// TestErrorsAreMemoized asserts a failing key is not retried.
+func TestErrorsAreMemoized(t *testing.T) {
+	spec := mustSpec(t, "CFD")
+	bad := config.BaselineMCM()
+	bad.Modules = 0
+	cache := NewCache()
+	r := &Runner{Workers: 1, Cache: cache}
+	var errs [2]error
+	for i := range errs {
+		_, errs[i] = r.Run([]Job{{Config: bad, Spec: spec, Scale: 0.05}})
+		if errs[i] == nil {
+			t.Fatal("bad config did not error")
+		}
+	}
+	if !errors.Is(errs[1], errors.Unwrap(errs[0])) && errs[0].Error() != errs[1].Error() {
+		t.Fatalf("memoized error differs: %v vs %v", errs[0], errs[1])
+	}
+	if s := cache.Stats(); s.Misses != 1 || s.Hits != 1 {
+		t.Fatalf("stats = %+v, want the failure simulated once and memoized", s)
+	}
+}
+
+// TestZeroValueRunner asserts the zero value works: GOMAXPROCS workers, no
+// cache, empty job list allowed.
+func TestZeroValueRunner(t *testing.T) {
+	var r Runner
+	res, err := r.Run(nil)
+	if err != nil || len(res) != 0 {
+		t.Fatalf("empty run: %v, %v", res, err)
+	}
+	got, err := r.Run([]Job{{Config: config.BaselineMCM(), Spec: mustSpec(t, "NW"), Scale: 0.05}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].Cycles == 0 {
+		t.Fatal("zero-value runner produced an empty result")
+	}
+}
+
+// TestRunSuite asserts the map form keys by workload name.
+func TestRunSuite(t *testing.T) {
+	specs := []*workload.Spec{mustSpec(t, "CFD"), mustSpec(t, "GEMM")}
+	r := &Runner{Workers: 2}
+	out, err := r.RunSuite(config.BaselineMCM(), specs, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 || out["CFD"] == nil || out["GEMM"] == nil {
+		t.Fatalf("RunSuite map = %v", out)
+	}
+	if out["CFD"].Workload != "CFD" {
+		t.Fatalf("result identity = %q, want CFD", out["CFD"].Workload)
+	}
+}

@@ -1,0 +1,18 @@
+package workload
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+)
+
+// Fingerprint returns a canonical hash of the spec, including its name and
+// every behavioral parameter. Run memoization keys on it rather than on the
+// name alone so a custom spec that reuses a suite name is never confused
+// with the registry entry. Spec holds only value-typed fields (asserted by
+// TestSpecHasNoReferenceFields), so the Go-syntax rendering hashed here is a
+// complete description of the workload.
+func (s *Spec) Fingerprint() string {
+	h := sha256.Sum256([]byte(fmt.Sprintf("%#v", *s)))
+	return hex.EncodeToString(h[:16])
+}

@@ -1,0 +1,99 @@
+package workload
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestSpecFingerprintDistinguishesSpecs(t *testing.T) {
+	a, err := ByName("CFD")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ByName("CoMD")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Fingerprint() != a.Fingerprint() {
+		t.Fatal("fingerprint not deterministic")
+	}
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Fatal("distinct specs share a fingerprint")
+	}
+	// A custom spec reusing a registry name must not collide with it.
+	custom := *a
+	custom.MemOpsPerWarp *= 2
+	if custom.Fingerprint() == a.Fingerprint() {
+		t.Fatal("fingerprint keyed on name only; parameter change not detected")
+	}
+}
+
+// TestSpecHasNoReferenceFields locks in the property concurrent execution
+// and Scaled rely on: Spec is a pure value type, so a struct copy is a deep
+// copy, specs can be shared read-only across worker goroutines, and %#v
+// renders the whole workload description for fingerprinting.
+func TestSpecHasNoReferenceFields(t *testing.T) {
+	typ := reflect.TypeOf(Spec{})
+	var walk func(reflect.Type, string)
+	walk = func(typ reflect.Type, path string) {
+		switch typ.Kind() {
+		case reflect.Ptr, reflect.Slice, reflect.Map, reflect.Chan, reflect.Func, reflect.Interface, reflect.UnsafePointer:
+			t.Errorf("%s is a reference type (%v); Scaled's struct copy would alias it", path, typ.Kind())
+		case reflect.Struct:
+			for i := 0; i < typ.NumField(); i++ {
+				f := typ.Field(i)
+				walk(f.Type, path+"."+f.Name)
+			}
+		case reflect.Array:
+			walk(typ.Elem(), path+"[]")
+		}
+	}
+	walk(typ, "Spec")
+}
+
+// TestScaledDoesNotAliasRegistry asserts that mutating a scaled spec — as a
+// worker goroutine's job setup does — can never reach back into the shared
+// package-level suite registry.
+func TestScaledDoesNotAliasRegistry(t *testing.T) {
+	orig, err := ByName("SSSP")
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapshot := *orig // value copy of the registry entry
+
+	scaled := orig.Scaled(0.5)
+	if scaled == orig {
+		t.Fatal("Scaled returned the registry pointer")
+	}
+	// Clobber every field of the scaled copy.
+	*scaled = Spec{Name: "clobbered", CTAs: 1, WarpsPerCTA: 1, MemOpsPerWarp: 1,
+		KernelIters: 1, FootprintLines: 2, LinesPerOp: 1}
+
+	reread, err := ByName("SSSP")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reread != orig {
+		t.Fatal("registry no longer returns the same entry")
+	}
+	if !reflect.DeepEqual(*reread, snapshot) {
+		t.Fatalf("registry entry changed after mutating a scaled copy:\nbefore: %+v\nafter:  %+v", snapshot, *reread)
+	}
+
+	// Suite() hands out pointers into the registry; scaling one of those and
+	// mutating must leave the whole suite untouched.
+	before := make([]Spec, 0, len(suite))
+	for _, s := range Suite() {
+		before = append(before, *s)
+	}
+	for _, s := range Suite() {
+		sc := s.Scaled(0.25)
+		sc.Seed = 999999
+		sc.FootprintLines = 777777
+	}
+	for i, s := range Suite() {
+		if !reflect.DeepEqual(*s, before[i]) {
+			t.Fatalf("suite entry %d (%s) mutated via a scaled copy", i, s.Name)
+		}
+	}
+}

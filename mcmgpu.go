@@ -15,12 +15,11 @@
 package mcmgpu
 
 import (
-	"fmt"
-
 	"mcmgpu/internal/analytic"
 	"mcmgpu/internal/config"
 	"mcmgpu/internal/core"
 	"mcmgpu/internal/report"
+	"mcmgpu/internal/runner"
 	"mcmgpu/internal/workload"
 )
 
@@ -142,19 +141,39 @@ func Speedup(base, sys *Result) float64 {
 // PaperAnalyticExample returns the Section 3.3.1 example model.
 func PaperAnalyticExample() AnalyticModel { return analytic.PaperExample() }
 
+// CacheStats reports run-cache effectiveness; see RunCacheStats.
+type CacheStats = runner.Stats
+
+// RunCacheStats returns a snapshot of the process-wide run cache: hits,
+// misses (= simulations actually executed) and distinct entries held.
+func RunCacheStats() CacheStats { return runner.Shared().Stats() }
+
+// ResetRunCache discards all memoized results and zeroes the counters.
+// Mainly useful in tests and long-lived processes that change the workload
+// registry.
+func ResetRunCache() { runner.Shared().Reset() }
+
 // resultSet caches per-workload results for one system configuration.
 type resultSet map[string]*core.Result
 
-// runSuite executes the given workloads on cfg, returning results by
-// workload name.
-func runSuite(cfg *Config, specs []*Spec, scale float64) (resultSet, error) {
-	out := make(resultSet, len(specs))
-	for _, spec := range specs {
-		res, err := RunScaled(cfg, spec, scale)
-		if err != nil {
-			return nil, fmt.Errorf("%s on %s: %w", spec.Name, cfg.Name, err)
-		}
-		out[spec.Name] = res
+// runner builds the executor an Options value asks for: o.Workers-wide
+// parallelism over the process-wide memo cache unless o.NoCache opts out.
+func (o Options) runner() *runner.Runner {
+	r := &runner.Runner{Workers: o.Workers}
+	if !o.NoCache {
+		r.Cache = runner.Shared()
 	}
-	return out, nil
+	return r
+}
+
+// runSuite executes the given workloads on cfg, returning results by
+// workload name. Jobs fan out across o.Workers goroutines; because each
+// Machine is deterministic and results are assembled by job index, the
+// output is identical for any worker count.
+func (o Options) runSuite(cfg *Config, specs []*Spec) (resultSet, error) {
+	out, err := o.runner().RunSuite(cfg, specs, o.scale())
+	if err != nil {
+		return nil, err
+	}
+	return resultSet(out), nil
 }

@@ -1,0 +1,100 @@
+package mcmgpu
+
+import (
+	"testing"
+)
+
+// simulationExperiments is every registry entry that actually simulates
+// (the static tables are trivially deterministic).
+var simulationExperiments = []string{
+	"fig2", "fig4", "fig6", "fig7", "fig9", "fig10",
+	"fig13", "fig14", "fig15", "fig16", "fig17",
+	"headline", "gpmscale", "energy",
+}
+
+// TestExperimentsDeterministicAcrossWorkers is the acceptance contract of
+// the parallel runner: every experiment renders byte-identical tables with
+// Workers=1 and Workers=8. Both passes bypass the run cache so the parallel
+// pass really re-simulates rather than replaying memoized results.
+func TestExperimentsDeterministicAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	drivers := Experiments()
+	seq := quick()
+	seq.Workers = 1
+	seq.NoCache = true
+	par := quick()
+	par.Workers = 8
+	par.NoCache = true
+	for _, id := range simulationExperiments {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			want, err := drivers[id](seq)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := drivers[id](par)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want.String() != got.String() {
+				t.Errorf("parallel table differs from sequential:\n--- workers=1 ---\n%s\n--- workers=8 ---\n%s",
+					want.String(), got.String())
+			}
+		})
+	}
+}
+
+// TestRunCacheSharedAcrossExperiments asserts the process-wide memoization
+// contract: drivers that revisit the baseline MCM suite reuse it instead of
+// re-simulating, and running the same experiment twice performs zero new
+// simulations.
+func TestRunCacheSharedAcrossExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	ResetRunCache()
+	defer ResetRunCache()
+	o := quick()
+	n := uint64(len(o.suite()))
+
+	// Fig7 simulates the baseline suite plus one L1.5 system.
+	if _, err := Fig7(o); err != nil {
+		t.Fatal(err)
+	}
+	s := RunCacheStats()
+	if s.Simulations() != 2*n {
+		t.Fatalf("after fig7: %d simulations, want %d (baseline + L1.5 suites)", s.Simulations(), 2*n)
+	}
+
+	// Fig9 adds one new system; its baseline suite must come from the cache.
+	if _, err := Fig9(o); err != nil {
+		t.Fatal(err)
+	}
+	s = RunCacheStats()
+	if s.Simulations() != 3*n {
+		t.Fatalf("after fig9: %d simulations, want %d (baseline reused)", s.Simulations(), 3*n)
+	}
+	if s.Hits < n {
+		t.Fatalf("after fig9: %d hits, want >= %d (the shared baseline suite)", s.Hits, n)
+	}
+
+	// Re-running an experiment simulates nothing.
+	before := RunCacheStats().Simulations()
+	tbl1, err := Fig9(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := RunCacheStats().Simulations(); got != before {
+		t.Fatalf("repeat fig9 simulated %d new jobs, want 0", got-before)
+	}
+	// And the memoized rerun renders identically.
+	tbl2, err := Fig9(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl1.String() != tbl2.String() {
+		t.Fatal("memoized rerun rendered a different table")
+	}
+}
