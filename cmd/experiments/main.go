@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"mcmgpu"
+	"mcmgpu/internal/prof"
 	"mcmgpu/internal/report"
 )
 
@@ -67,8 +68,21 @@ func main() {
 		csv     = flag.Bool("csv", false, "emit CSV instead of text")
 		bars    = flag.Bool("bars", false, "render numeric columns as ASCII bar charts")
 		list    = flag.Bool("list", false, "list experiment ids")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
 	flag.Parse()
+
+	stopProf, err := prof.Start(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+		}
+	}()
 
 	drivers := mcmgpu.Experiments()
 	ids := make([]string, 0, len(drivers))

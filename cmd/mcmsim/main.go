@@ -20,6 +20,7 @@ import (
 
 	"mcmgpu/internal/config"
 	"mcmgpu/internal/core"
+	"mcmgpu/internal/prof"
 	"mcmgpu/internal/report"
 	"mcmgpu/internal/trace"
 	"mcmgpu/internal/workload"
@@ -38,18 +39,31 @@ var systems = map[string]func() *config.Config{
 
 func main() {
 	var (
-		system = flag.String("system", "mcm-baseline", "system preset to simulate")
-		app    = flag.String("workload", "Stream", "workload name, a category (m-intensive, c-intensive, limited), or 'all'")
-		scale  = flag.Float64("scale", 1.0, "work scale factor (trades fidelity for speed)")
-		list   = flag.Bool("list", false, "list systems and workloads, then exit")
-		linkBW = flag.Float64("link", 0, "override inter-GPM link bandwidth in GB/s")
-		v      = flag.Bool("v", false, "verbose per-run detail")
-		char   = flag.Bool("characterize", false, "characterize the selected workloads' access streams instead of simulating")
-		cfgF   = flag.String("config", "", "load the machine from a JSON file instead of -system")
-		dump   = flag.String("dump-config", "", "print the named system preset as JSON and exit")
-		asJSON = flag.Bool("json", false, "emit results as JSON")
+		system  = flag.String("system", "mcm-baseline", "system preset to simulate")
+		app     = flag.String("workload", "Stream", "workload name, a category (m-intensive, c-intensive, limited), or 'all'")
+		scale   = flag.Float64("scale", 1.0, "work scale factor (trades fidelity for speed)")
+		list    = flag.Bool("list", false, "list systems and workloads, then exit")
+		linkBW  = flag.Float64("link", 0, "override inter-GPM link bandwidth in GB/s")
+		v       = flag.Bool("v", false, "verbose per-run detail")
+		char    = flag.Bool("characterize", false, "characterize the selected workloads' access streams instead of simulating")
+		cfgF    = flag.String("config", "", "load the machine from a JSON file instead of -system")
+		dump    = flag.String("dump-config", "", "print the named system preset as JSON and exit")
+		asJSON  = flag.Bool("json", false, "emit results as JSON")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
 	flag.Parse()
+
+	stopProf, err := prof.Start(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mcmsim:", err)
+		os.Exit(1)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(os.Stderr, "mcmsim:", err)
+		}
+	}()
 
 	if *dump != "" {
 		mk, ok := systems[*dump]

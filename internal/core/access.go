@@ -18,19 +18,79 @@ const lineBytes = config.LineBytes
 // link transfer while still at the request's issue time) would insert the
 // intervening latency as dead time in the resource's FIFO timeline and
 // starve later-issued, earlier-arriving traffic.
+//
+// Each in-flight operation's state rides in a pooled context struct
+// (loadCtx, storeCtx) scheduled through the engine's typed-event API; the
+// stages below are the contexts' Dispatch kinds. This is the closure-free
+// dispatch contract: a stage may read the context freely but must release it
+// (putLoad/putStore) exactly once, on the path that completes the operation,
+// and must not touch it afterwards.
 
-// startLoad begins one cache-line load for a warp on SM s. complete is
+// loadCtx event kinds.
+const (
+	evLoadArrive  uint8 = iota // request reached the line's home partition
+	evLoadRespond              // response data departs the home module
+)
+
+// storeCtx event kinds.
+const (
+	evStoreArrive  uint8 = iota // store reached the line's home partition
+	evStoreRelease              // line landed in the home L2; free the slot
+)
+
+// loadCtx carries one in-flight cache-line load from the point startLoad
+// schedules its arrival event until the data-ready time is delivered to the
+// issuing warp. Recycled through Machine.freeLoads.
+type loadCtx struct {
+	m    *Machine
+	wc   *warpCtx   // issuing warp; receives loadComplete
+	pt   *partition // the line's home partition
+	line uint64
+	g    int // requesting module
+	next *loadCtx
+}
+
+// Dispatch implements engine.Event.
+func (lc *loadCtx) Dispatch(kind uint8) {
+	if kind == evLoadArrive {
+		lc.m.partitionLoad(lc)
+		return
+	}
+	lc.respond()
+}
+
+// storeCtx carries one in-flight cache-line store from startStore to the
+// release of its store-buffer slot. Recycled through Machine.freeStores.
+type storeCtx struct {
+	m    *Machine
+	sm   *sm.SM // issuing SM; owns the occupied store-buffer slot
+	pt   *partition
+	line uint64
+	next *storeCtx
+}
+
+// Dispatch implements engine.Event.
+func (sc *storeCtx) Dispatch(kind uint8) {
+	if kind == evStoreArrive {
+		sc.m.partitionStore(sc)
+		return
+	}
+	sc.release()
+}
+
+// startLoad begins one cache-line load for warp wc. wc.loadComplete is
 // invoked exactly once with the data-ready cycle; for cache hits and local
 // accesses it is invoked synchronously with a (possibly future) timestamp,
 // for remote accesses it is invoked from the response event.
-func (m *Machine) startLoad(s *sm.SM, line uint64, complete func(engine.Cycle)) {
+func (m *Machine) startLoad(wc *warpCtx, line uint64) {
 	cfg := m.cfg
 	now := m.sim.Now()
 	m.lineReads++
+	s := wc.cta.sm
 
 	// SM-private L1.
 	if s.L1.Access(line, false).Hit {
-		complete(now + engine.Cycle(cfg.L1.HitLatency))
+		wc.loadComplete(now + engine.Cycle(cfg.L1.HitLatency))
 		return
 	}
 	t := now + engine.Cycle(cfg.L1.HitLatency) // tag lookup paid on miss too
@@ -56,7 +116,7 @@ func (m *Machine) startLoad(s *sm.SM, line uint64, complete func(engine.Cycle)) 
 	// line hit without issuing duplicate traffic.
 	if mod.l15 != nil && (remote || cfg.L15Alloc == config.AllocAll) {
 		if mod.l15.Access(line, false).Hit {
-			complete(t + engine.Cycle(cfg.L15.HitLatency))
+			wc.loadComplete(t + engine.Cycle(cfg.L15.HitLatency))
 			return
 		}
 		t += l15MissPenalty
@@ -68,16 +128,19 @@ func (m *Machine) startLoad(s *sm.SM, line uint64, complete func(engine.Cycle)) 
 		t = m.net.Send(t, g, pt.module, uint64(cfg.Link.ReqHeaderBytes))
 		m.mtr.AddBytes(m.linkDomain, hops*uint64(cfg.Link.ReqHeaderBytes))
 	}
-	m.sim.At(t, func() { m.partitionLoad(pt, g, line, complete) })
+	lc := m.getLoad()
+	lc.wc, lc.pt, lc.line, lc.g = wc, pt, line, g
+	m.sim.AtEvent(t, lc, evLoadArrive)
 }
 
 // partitionLoad runs at the line's home partition when the request arrives:
 // memory-side L2 lookup, DRAM fill on miss, and the response leg.
-func (m *Machine) partitionLoad(pt *partition, g int, line uint64, complete func(engine.Cycle)) {
+func (m *Machine) partitionLoad(lc *loadCtx) {
 	cfg := m.cfg
+	pt := lc.pt
 	now := m.sim.Now()
 	t := pt.bank.Reserve(now, lineBytes) + engine.Cycle(cfg.L2.HitLatency)
-	l2 := pt.l2.Access(m.amap.CacheAddr(line), false)
+	l2 := pt.l2.Access(m.amap.CacheAddr(lc.line), false)
 	if !l2.Hit {
 		// The dirty victim departs as the fill arrives: both transactions
 		// are booked at the device arrival time.
@@ -88,18 +151,28 @@ func (m *Machine) partitionLoad(pt *partition, g int, line uint64, complete func
 		t = pt.dram.Read(t, lineBytes)
 		m.mtr.AddDRAM(lineBytes)
 	}
-	if pt.module == g {
-		complete(t)
+	if pt.module == lc.g {
+		wc := lc.wc
+		m.putLoad(lc)
+		wc.loadComplete(t)
 		return
 	}
 	// Response departs home when the data is ready.
-	m.sim.At(t, func() {
-		resp := uint64(lineBytes + cfg.Link.RespHeaderBytes)
-		hops := uint64(m.net.Hops(pt.module, g))
-		arrive := m.net.Send(m.sim.Now(), pt.module, g, resp)
-		m.mtr.AddBytes(m.linkDomain, hops*resp)
-		complete(arrive)
-	})
+	m.sim.AtEvent(t, lc, evLoadRespond)
+}
+
+// respond runs at the home module when the data is ready: it books the
+// response transfer back across the ring and wakes the warp at arrival.
+func (lc *loadCtx) respond() {
+	m := lc.m
+	cfg := m.cfg
+	resp := uint64(lineBytes + cfg.Link.RespHeaderBytes)
+	hops := uint64(m.net.Hops(lc.pt.module, lc.g))
+	arrive := m.net.Send(m.sim.Now(), lc.pt.module, lc.g, resp)
+	m.mtr.AddBytes(m.linkDomain, hops*resp)
+	wc := lc.wc
+	m.putLoad(lc)
+	wc.loadComplete(arrive)
 }
 
 // startStore begins one cache-line store. The caller has already acquired a
@@ -138,17 +211,20 @@ func (m *Machine) startStore(s *sm.SM, line uint64) {
 		t = m.net.Send(t, g, pt.module, payload)
 		m.mtr.AddBytes(m.linkDomain, hops*payload)
 	}
-	m.sim.At(t, func() { m.partitionStore(s, pt, line) })
+	sc := m.getStore()
+	sc.sm, sc.pt, sc.line = s, pt, line
+	m.sim.AtEvent(t, sc, evStoreArrive)
 }
 
 // partitionStore absorbs a store at the home partition's write-back L2
 // (write-allocate: a miss fills the line from DRAM and may evict a dirty
 // victim) and then releases the issuing SM's store-buffer slot.
-func (m *Machine) partitionStore(s *sm.SM, pt *partition, line uint64) {
+func (m *Machine) partitionStore(sc *storeCtx) {
 	cfg := m.cfg
+	pt := sc.pt
 	now := m.sim.Now()
 	end := pt.bank.Reserve(now, lineBytes) + engine.Cycle(cfg.L2.HitLatency)
-	l2 := pt.l2.Access(m.amap.CacheAddr(line), true)
+	l2 := pt.l2.Access(m.amap.CacheAddr(sc.line), true)
 	if !l2.Hit {
 		pt.dram.Read(now, lineBytes) // allocate fill
 		m.mtr.AddDRAM(lineBytes)
@@ -157,9 +233,15 @@ func (m *Machine) partitionStore(s *sm.SM, pt *partition, line uint64) {
 			m.mtr.AddDRAM(lineBytes)
 		}
 	}
-	m.sim.At(end, func() {
-		if waiter := s.ReleaseStore(); waiter != nil {
-			waiter()
-		}
-	})
+	m.sim.AtEvent(end, sc, evStoreRelease)
+}
+
+// release frees the store-buffer slot the store occupied and resumes a warp
+// parked on the full buffer, if any.
+func (sc *storeCtx) release() {
+	s := sc.sm
+	sc.m.putStore(sc)
+	if w := s.ReleaseStore(); w != nil {
+		w.StoreSlotFree()
+	}
 }

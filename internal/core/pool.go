@@ -1,0 +1,94 @@
+package core
+
+import "mcmgpu/internal/workload"
+
+// Free lists for the event-path context structs. The simulator fires
+// millions of events per run; allocating a context (or a closure) per event
+// made the GC a first-order cost of every experiment. Instead each context
+// kind is recycled through an intrusive singly linked free list on the
+// Machine: get* pops a recycled struct (allocating only while the pool grows
+// toward the steady-state in-flight population), put* clears the struct's
+// references and pushes it back. The simulation is single threaded, so the
+// lists need no locking.
+//
+// put* fully zeroes payload fields rather than relying on the next get* to
+// overwrite them: it drops references the GC would otherwise keep alive
+// through the pool, and it is what the cross-relaunch state-leak test in
+// pool_test.go pins down.
+
+// getWarp returns a warp context with m set and all other state cleared.
+func (m *Machine) getWarp() *warpCtx {
+	wc := m.freeWarps
+	if wc == nil {
+		return &warpCtx{m: m}
+	}
+	m.freeWarps = wc.next
+	wc.next = nil
+	return wc
+}
+
+func (m *Machine) putWarp(wc *warpCtx) {
+	wc.cta = nil
+	wc.st = workload.Stream{}
+	wc.op = workload.Op{}
+	wc.lineIdx = 0
+	wc.pending = 0
+	wc.loadDone = 0
+	wc.next = m.freeWarps
+	m.freeWarps = wc
+}
+
+func (m *Machine) getCTA() *ctaCtx {
+	cc := m.freeCTAs
+	if cc == nil {
+		return &ctaCtx{}
+	}
+	m.freeCTAs = cc.next
+	cc.next = nil
+	return cc
+}
+
+func (m *Machine) putCTA(cc *ctaCtx) {
+	cc.idx = 0
+	cc.sm = nil
+	cc.live = 0
+	cc.next = m.freeCTAs
+	m.freeCTAs = cc
+}
+
+func (m *Machine) getLoad() *loadCtx {
+	lc := m.freeLoads
+	if lc == nil {
+		return &loadCtx{m: m}
+	}
+	m.freeLoads = lc.next
+	lc.next = nil
+	return lc
+}
+
+func (m *Machine) putLoad(lc *loadCtx) {
+	lc.wc = nil
+	lc.pt = nil
+	lc.line = 0
+	lc.g = 0
+	lc.next = m.freeLoads
+	m.freeLoads = lc
+}
+
+func (m *Machine) getStore() *storeCtx {
+	sc := m.freeStores
+	if sc == nil {
+		return &storeCtx{m: m}
+	}
+	m.freeStores = sc.next
+	sc.next = nil
+	return sc
+}
+
+func (m *Machine) putStore(sc *storeCtx) {
+	sc.sm = nil
+	sc.pt = nil
+	sc.line = 0
+	sc.next = m.freeStores
+	m.freeStores = sc
+}

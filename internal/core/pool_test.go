@@ -1,0 +1,134 @@
+package core
+
+import (
+	"testing"
+
+	"mcmgpu/internal/config"
+	"mcmgpu/internal/workload"
+)
+
+// TestPooledContextsResetAcrossRelaunch drives a multi-wave, store-heavy
+// workload (CTAs far exceed residency, so every warp/CTA context is
+// recycled many times, and store-buffer backpressure parks warps) and then
+// checks that every context sitting on a free list was returned in the
+// cleared state: a stale field leaking across a CTA relaunch would be
+// invisible in aggregate results until it corrupted a run.
+func TestPooledContextsResetAcrossRelaunch(t *testing.T) {
+	spec := probeSpec(func(s *workload.Spec) {
+		s.CTAs = 1024
+		s.WriteFraction = 0.5
+		s.KernelIters = 2
+	})
+	m, err := New(config.BaselineMCM())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MemOps != spec.TotalMemOps() {
+		t.Fatalf("MemOps = %d, want %d", res.MemOps, spec.TotalMemOps())
+	}
+
+	var nWarp, nCTA, nLoad, nStore int
+	for wc := m.freeWarps; wc != nil; wc = wc.next {
+		nWarp++
+		if wc.m != m {
+			t.Fatalf("pooled warpCtx lost its machine pointer")
+		}
+		if wc.cta != nil || wc.pending != 0 || wc.lineIdx != 0 || wc.loadDone != 0 {
+			t.Fatalf("pooled warpCtx retains state: %+v", wc)
+		}
+		if wc.st != (workload.Stream{}) || wc.op != (workload.Op{}) {
+			t.Fatalf("pooled warpCtx retains stream/op state")
+		}
+	}
+	for cc := m.freeCTAs; cc != nil; cc = cc.next {
+		nCTA++
+		if cc.sm != nil || cc.live != 0 || cc.idx != 0 {
+			t.Fatalf("pooled ctaCtx retains state: %+v", cc)
+		}
+	}
+	for lc := m.freeLoads; lc != nil; lc = lc.next {
+		nLoad++
+		if lc.wc != nil || lc.pt != nil || lc.line != 0 || lc.g != 0 {
+			t.Fatalf("pooled loadCtx retains state: %+v", lc)
+		}
+	}
+	for sc := m.freeStores; sc != nil; sc = sc.next {
+		nStore++
+		if sc.sm != nil || sc.pt != nil || sc.line != 0 {
+			t.Fatalf("pooled storeCtx retains state: %+v", sc)
+		}
+	}
+	// A drained run must have returned every context: the pools hold the
+	// steady-state in-flight population, bounded by machine residency, not
+	// by total work.
+	if nWarp == 0 || nCTA == 0 || nLoad == 0 || nStore == 0 {
+		t.Fatalf("empty pools after run: warps=%d ctas=%d loads=%d stores=%d",
+			nWarp, nCTA, nLoad, nStore)
+	}
+	maxResident := m.cfg.TotalSMs() * m.cfg.WarpsPerSM
+	if nWarp > maxResident {
+		t.Fatalf("warp pool grew to %d, residency bound is %d", nWarp, maxResident)
+	}
+
+	// Pooled reuse must not perturb results: a fresh machine on the same
+	// spec (its pools populated in a different order) matches exactly.
+	m2, err := New(config.BaselineMCM())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := m2.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles != res2.Cycles || res.DRAMBytes != res2.DRAMBytes ||
+		res.InterModuleBytes != res2.InterModuleBytes {
+		t.Fatalf("pooled relaunch nondeterministic: %+v vs %+v", res, res2)
+	}
+}
+
+// TestLoadPathSteadyStateAllocs pins the tentpole contract: once the pools
+// and the event queue have warmed, dispatching a load through the full
+// remote path (L1 miss, xbar, ring, memory-side L2, DRAM, response) incurs
+// zero heap allocations per event.
+func TestLoadPathSteadyStateAllocs(t *testing.T) {
+	m, err := New(config.BaselineMCM())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc := &ctaCtx{sm: m.sms[0], live: 1}
+	wc := m.getWarp()
+	wc.cta = cc
+
+	// Issue one load and drain. pending starts at 2 so loadComplete never
+	// reaches zero and never schedules the warp's next step (the warp has
+	// no stream here). Large line stride defeats the L1 so every load
+	// walks the full event path.
+	n := uint64(0)
+	issue := func() {
+		n++
+		wc.pending = 2
+		m.startLoad(wc, (n*4099)%(1<<22))
+		m.sim.Run()
+	}
+	for i := 0; i < 200; i++ {
+		issue() // warm pools, queue backing array, resource state
+	}
+	allocs := testing.AllocsPerRun(200, issue)
+	if allocs != 0 {
+		t.Fatalf("steady-state load path allocated %v objects per load, want 0", allocs)
+	}
+}
+
+// TestClampedEventsSurfaced checks the clamp counter is plumbed into the
+// Result, and that a normal run does not clamp at all — the memory path
+// schedules only at or after the current cycle by construction.
+func TestClampedEventsSurfaced(t *testing.T) {
+	res := mustRun(t, config.BaselineMCM(), probeSpec(nil))
+	if res.ClampedEvents != 0 {
+		t.Fatalf("baseline run clamped %d events, want 0", res.ClampedEvents)
+	}
+}

@@ -52,6 +52,12 @@ type Result struct {
 	// MaxLinkUtil is the utilization of the busiest inter-module link.
 	MaxLinkUtil float64
 
+	// ClampedEvents counts events the engine had to clamp from a past
+	// timestamp to the current cycle (engine.Sim.Clamped). A handful is
+	// floating-point slop; growth proportional to the event count means a
+	// causality bug is hiding behind the clamp.
+	ClampedEvents uint64
+
 	// EnergyPJ breaks down data-movement energy per Table 2 domains.
 	EnergyPJ EnergyBreakdown
 }
@@ -105,6 +111,7 @@ func (m *Machine) collect() *Result {
 		LineWrites:       m.lineWrites,
 		InterModuleBytes: m.net.TotalBytes(),
 		MappedPages:      m.amap.MappedPages(),
+		ClampedEvents:    m.sim.Clamped(),
 	}
 	if cycles > 0 {
 		r.InterModuleGBps = float64(r.InterModuleBytes) / float64(cycles)

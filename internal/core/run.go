@@ -9,25 +9,52 @@ import (
 	"mcmgpu/internal/workload"
 )
 
-// ctaCtx tracks one resident CTA until all of its warps drain.
+// warpCtx event kinds.
+const (
+	evWarpStep uint8 = iota // issue the next compute block or retire
+	evWarpMem               // perform the memory operation
+)
+
+// ctaCtx tracks one resident CTA until all of its warps drain. Recycled
+// through Machine.freeCTAs.
 type ctaCtx struct {
 	idx  int
 	sm   *sm.SM
 	live int
+	next *ctaCtx
 }
 
-// warpCtx is one warp's event-driven execution state.
+// warpCtx is one warp's event-driven execution state. It is an engine.Event
+// (its step/mem transitions are scheduled without closures) and an
+// sm.StoreWaiter (it parks itself on a full store buffer). Recycled through
+// Machine.freeWarps across CTA launches; the embedded Stream is re-seeded in
+// place by launchCTA, so relaunching a warp allocates nothing.
 type warpCtx struct {
 	m   *Machine
 	cta *ctaCtx
-	st  *workload.Stream
+	st  workload.Stream
 	op  workload.Op
 
 	// In-flight memory operation state.
 	lineIdx  int          // next store line to issue
 	pending  int          // outstanding loads of the current op
 	loadDone engine.Cycle // latest completion among them
+
+	next *warpCtx
 }
+
+// Dispatch implements engine.Event.
+func (wc *warpCtx) Dispatch(kind uint8) {
+	if kind == evWarpStep {
+		wc.step()
+		return
+	}
+	wc.mem()
+}
+
+// StoreSlotFree implements sm.StoreWaiter: the warp resumes issuing the
+// store lines it was parked on.
+func (wc *warpCtx) StoreSlotFree() { wc.memWrite() }
 
 // Run executes the workload on the machine: KernelIters sequential kernel
 // launches with cache flushes at each kernel boundary, then collects the
@@ -88,10 +115,13 @@ func (m *Machine) runKernel() {
 func (m *Machine) launchCTA(idx int, s *sm.SM, at engine.Cycle) {
 	s.HostCTA(m.spec.WarpsPerCTA)
 	m.liveCTA++
-	cc := &ctaCtx{idx: idx, sm: s, live: m.spec.WarpsPerCTA}
+	cc := m.getCTA()
+	cc.idx, cc.sm, cc.live = idx, s, m.spec.WarpsPerCTA
 	for w := 0; w < m.spec.WarpsPerCTA; w++ {
-		wc := &warpCtx{m: m, cta: cc, st: workload.NewStream(m.spec, idx, w)}
-		m.sim.At(at, wc.step)
+		wc := m.getWarp()
+		wc.cta = cc
+		wc.st.Init(m.spec, idx, w)
+		m.sim.AtEvent(at, wc, evWarpStep)
 	}
 }
 
@@ -100,9 +130,11 @@ func (m *Machine) launchCTA(idx int, s *sm.SM, at engine.Cycle) {
 func (wc *warpCtx) step() {
 	m := wc.m
 	if !wc.st.Next(&wc.op) {
-		wc.cta.live--
-		if wc.cta.live == 0 {
-			m.ctaDone(wc.cta)
+		cc := wc.cta
+		m.putWarp(wc) // no events reference the warp once its stream ends
+		cc.live--
+		if cc.live == 0 {
+			m.ctaDone(cc)
 		}
 		return
 	}
@@ -110,7 +142,7 @@ func (wc *warpCtx) step() {
 	wc.cta.sm.CountInstrs(instrs)
 	m.instrs += instrs
 	t := wc.cta.sm.Issue.Reserve(m.sim.Now(), instrs)
-	m.sim.At(t, wc.mem)
+	m.sim.AtEvent(t, wc, evWarpMem)
 }
 
 // mem performs the warp's memory operation. Loads block the warp until the
@@ -126,7 +158,7 @@ func (wc *warpCtx) mem() {
 	wc.pending = wc.op.NumLines
 	wc.loadDone = wc.m.sim.Now()
 	for _, line := range wc.op.Lines[:wc.op.NumLines] {
-		wc.m.startLoad(wc.cta.sm, line, wc.loadComplete)
+		wc.m.startLoad(wc, line)
 	}
 }
 
@@ -138,7 +170,7 @@ func (wc *warpCtx) loadComplete(t engine.Cycle) {
 	}
 	wc.pending--
 	if wc.pending == 0 {
-		wc.m.sim.At(wc.loadDone, wc.step)
+		wc.m.sim.AtEvent(wc.loadDone, wc, evWarpStep)
 	}
 }
 
@@ -151,23 +183,25 @@ func (wc *warpCtx) memWrite() {
 	s := wc.cta.sm
 	for wc.lineIdx < wc.op.NumLines {
 		if s.StoreFull() {
-			s.AwaitStore(wc.memWrite)
+			s.AwaitStore(wc)
 			return
 		}
 		s.AcquireStore()
 		m.startStore(s, wc.op.Lines[wc.lineIdx])
 		wc.lineIdx++
 	}
-	m.sim.After(storeAckCycles, wc.step)
+	m.sim.AfterEvent(storeAckCycles, wc, evWarpStep)
 }
 
 // ctaDone retires a CTA and immediately pulls the next CTA for the freed
 // SM's module, as hardware does when resources free up.
 func (m *Machine) ctaDone(cc *ctaCtx) {
-	cc.sm.RetireCTA(m.spec.WarpsPerCTA)
+	s := cc.sm
+	m.putCTA(cc)
+	s.RetireCTA(m.spec.WarpsPerCTA)
 	m.liveCTA--
-	idx := m.sched.Next(cc.sm.Module())
+	idx := m.sched.Next(s.Module())
 	if idx >= 0 {
-		m.launchCTA(idx, cc.sm, m.sim.Now())
+		m.launchCTA(idx, s, m.sim.Now())
 	}
 }

@@ -75,6 +75,87 @@ func TestSimPastClamped(t *testing.T) {
 	}
 }
 
+func TestSimClampedCounter(t *testing.T) {
+	s := New()
+	s.At(100, func() {
+		s.At(50, func() {})            // past: clamped
+		s.AtEvent(10, countEv(nil), 0) // past: clamped
+		s.At(100, func() {})           // now: not clamped
+		s.After(5, func() {})          // future: not clamped
+	})
+	if s.Clamped() != 0 {
+		t.Fatalf("Clamped = %d before any past scheduling", s.Clamped())
+	}
+	s.Run()
+	if s.Clamped() != 2 {
+		t.Fatalf("Clamped = %d, want 2", s.Clamped())
+	}
+}
+
+// countEv is a trivial Event recording dispatches for tests.
+type countEv []uint8
+
+func (c countEv) Dispatch(uint8) {}
+
+// recordEv appends (id, kind, time) on dispatch.
+type recordEv struct {
+	s   *Sim
+	id  int
+	out *[][3]uint64
+}
+
+func (r *recordEv) Dispatch(kind uint8) {
+	*r.out = append(*r.out, [3]uint64{uint64(r.id), uint64(kind), uint64(r.s.Now())})
+}
+
+func TestSimTypedEvents(t *testing.T) {
+	s := New()
+	var got [][3]uint64
+	a := &recordEv{s: s, id: 1, out: &got}
+	b := &recordEv{s: s, id: 2, out: &got}
+	s.AtEvent(20, a, 7)
+	s.AtEvent(10, b, 3)
+	s.AfterEvent(10, a, 1) // same cycle as b's event, scheduled later
+	s.Run()
+	want := [][3]uint64{{2, 3, 10}, {1, 1, 10}, {1, 7, 20}}
+	if len(got) != len(want) {
+		t.Fatalf("dispatched %d events, want %d: %v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("dispatch %d = %v, want %v (all: %v)", i, got[i], want[i], got)
+		}
+	}
+}
+
+// Typed and closure events share one queue and one total order: interleaving
+// the two forms at the same cycle preserves global scheduling order.
+func TestSimMixedFormsSameCycleFIFO(t *testing.T) {
+	s := New()
+	var got []int
+	for i := 0; i < 50; i++ {
+		i := i
+		if i%2 == 0 {
+			s.At(5, func() { got = append(got, i) })
+		} else {
+			s.AtEvent(5, appendEv{&got, i}, 0)
+		}
+	}
+	s.Run()
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("mixed-form same-cycle order broke at %d: %v", i, got[:i+1])
+		}
+	}
+}
+
+type appendEv struct {
+	out *[]int
+	v   int
+}
+
+func (a appendEv) Dispatch(uint8) { *a.out = append(*a.out, a.v) }
+
 func TestSimRunUntil(t *testing.T) {
 	s := New()
 	count := 0
@@ -219,6 +300,85 @@ func TestResourceMonotoneProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// Property: all events scheduled for one cycle fire in exact scheduling
+// order, no matter how bursts at different cycles interleave, how large the
+// bursts are, or which scheduling form (closure or typed) each event uses.
+// This pins the (at, seq) FIFO contract the specialized heap must preserve.
+func TestSimSameCycleBurstOrderProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := New()
+		n := 200 + rng.Intn(300)
+		times := make([]Cycle, n)
+		var order []int
+		for i := 0; i < n; i++ {
+			// Few distinct timestamps => large same-cycle bursts.
+			at := Cycle(rng.Intn(7))
+			times[i] = at
+			i := i
+			if i%3 == 0 {
+				s.AtEvent(at, appendEv{&order, i}, 0)
+			} else {
+				s.At(at, func() { order = append(order, i) })
+			}
+		}
+		s.Run()
+		if len(order) != n {
+			return false
+		}
+		// Within each timestamp, scheduling indices must ascend; across
+		// timestamps, times must not decrease.
+		seen := make(map[Cycle]int)
+		lastAt := Cycle(0)
+		for pos, idx := range order {
+			at := times[idx]
+			if at < lastAt {
+				t.Logf("seed %d: time went backwards at pos %d", seed, pos)
+				return false
+			}
+			lastAt = at
+			if prev, ok := seen[at]; ok && idx < prev {
+				t.Logf("seed %d: same-cycle order violated: idx %d after %d at t=%d", seed, idx, prev, at)
+				return false
+			}
+			seen[at] = idx
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The specialized heap must pop in exactly the order a reference sort of
+// (at, seq) produces, including under interleaved push/pop (events scheduled
+// while the queue drains).
+func TestSimHeapMatchesReferenceOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	s := New()
+	var got []Cycle
+	var schedule func()
+	remaining := 5000
+	schedule = func() {
+		got = append(got, s.Now())
+		if remaining > 0 {
+			remaining--
+			// Future-dated relative to now, keeping the queue churning.
+			s.After(Cycle(rng.Intn(50)), schedule)
+		}
+	}
+	for i := 0; i < 64; i++ {
+		s.At(Cycle(rng.Intn(100)), schedule)
+	}
+	s.Run()
+	if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
+		t.Fatalf("pop order not sorted by time")
+	}
+	if len(got) != 64+5000 {
+		t.Fatalf("processed %d events, want %d", len(got), 64+5000)
 	}
 }
 

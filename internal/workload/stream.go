@@ -57,7 +57,16 @@ type Stream struct {
 
 // NewStream creates the access stream for warp w of CTA c.
 func NewStream(spec *Spec, cta, warp int) *Stream {
-	s := &Stream{spec: spec, cta: cta, warp: warp, ops: spec.OpsForCTA(cta)}
+	s := new(Stream)
+	s.Init(spec, cta, warp)
+	return s
+}
+
+// Init resets s in place to the access stream for warp warp of CTA cta,
+// discarding any prior state. It exists so pooled warp contexts can embed a
+// Stream by value and be relaunched onto a new CTA without allocating.
+func (s *Stream) Init(spec *Spec, cta, warp int) {
+	*s = Stream{spec: spec, cta: cta, warp: warp, ops: spec.OpsForCTA(cta)}
 	// Seed mixes the identifiers so distinct warps get decorrelated streams.
 	s.r = rng{s: spec.Seed ^ uint64(cta)*0x9e3779b97f4a7c15 ^ uint64(warp)*0xc2b2ae3d27d4eb4f}
 	reserved := spec.SharedLines + spec.ScatterLines
@@ -67,7 +76,6 @@ func NewStream(spec *Spec, cta, warp int) *Stream {
 	}
 	s.regionStart = reserved + uint64(cta)*perCTA
 	s.regionLen = perCTA
-	return s
 }
 
 // Next fills op with the warp's next operation and reports whether one
