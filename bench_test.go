@@ -80,7 +80,10 @@ func BenchmarkHeadline(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		speedup = geomeanSpeedup(base, optRes, opt.suite())
+		var gerr error
+		if speedup, gerr = geomeanSpeedup(base, optRes, opt.suite()); gerr != nil {
+			b.Fatal(gerr)
+		}
 	}
 	b.ReportMetric(speedup, "speedup/baseline")
 }
@@ -96,7 +99,7 @@ func benchSuiteJobs() []runner.Job {
 		config.BaselineMCM(),
 		config.OptimizedMCM(),
 		config.MCMWithLink(1536),
-		config.Monolithic(128),
+		config.MustMonolithic(128),
 	}
 	var jobs []runner.Job
 	for _, c := range cfgs {

@@ -15,9 +15,11 @@ import (
 	"os"
 	"sort"
 	"strconv"
+	"strings"
 	"time"
 
 	"mcmgpu"
+	"mcmgpu/internal/faultinject"
 	"mcmgpu/internal/prof"
 	"mcmgpu/internal/report"
 )
@@ -60,16 +62,19 @@ func renderBars(t *mcmgpu.Table) {
 
 func main() {
 	var (
-		exp     = flag.String("exp", "headline", "experiment id (table1..4, analytic, fig2..fig17, headline, all)")
-		scale   = flag.Float64("scale", 1.0, "workload scale factor")
-		max     = flag.Int("max", 0, "limit workloads per category (0 = all)")
-		jobs    = flag.Int("j", 0, "parallel simulation jobs (0 = GOMAXPROCS, 1 = sequential)")
-		nocache = flag.Bool("nocache", false, "disable the memoized run cache")
-		csv     = flag.Bool("csv", false, "emit CSV instead of text")
-		bars    = flag.Bool("bars", false, "render numeric columns as ASCII bar charts")
-		list    = flag.Bool("list", false, "list experiment ids")
-		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memProf = flag.String("memprofile", "", "write an allocation profile to this file on exit")
+		exp       = flag.String("exp", "headline", "experiment id (table1..4, analytic, fig2..fig17, headline, all)")
+		scale     = flag.Float64("scale", 1.0, "workload scale factor")
+		max       = flag.Int("max", 0, "limit workloads per category (0 = all)")
+		jobs      = flag.Int("j", 0, "parallel simulation jobs (0 = GOMAXPROCS, 1 = sequential)")
+		nocache   = flag.Bool("nocache", false, "disable the memoized run cache")
+		csv       = flag.Bool("csv", false, "emit CSV instead of text")
+		bars      = flag.Bool("bars", false, "render numeric columns as ASCII bar charts")
+		list      = flag.Bool("list", false, "list experiment ids")
+		timeout   = flag.Duration("timeout", 0, "wall-clock budget for the whole invocation (0 = none)")
+		maxEvents = flag.Uint64("max-events", 0, "per-simulation event budget (0 = none)")
+		keepGoing = flag.Bool("keep-going", false, "render failed cells as ERR instead of aborting; exit 1 at the end if any failed")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf   = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
 	flag.Parse()
 
@@ -98,7 +103,39 @@ func main() {
 		return
 	}
 
-	opt := mcmgpu.Options{Scale: *scale, MaxPerCategory: *max, Workers: *jobs, NoCache: *nocache}
+	fault, err := faultinject.FromEnv()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+	opt := mcmgpu.Options{
+		Scale:          *scale,
+		MaxPerCategory: *max,
+		Workers:        *jobs,
+		NoCache:        *nocache,
+		MaxEvents:      *maxEvents,
+		KeepGoing:      *keepGoing,
+		Fault:          fault,
+	}
+	if *timeout > 0 {
+		opt.Deadline = time.Now().Add(*timeout)
+	}
+	// Warnings go to stderr (deduplicated) so the table output on stdout
+	// stays byte-identical across -j settings and reruns of cached cells.
+	warned := map[string]bool{}
+	failedCells := false
+	opt.Warnf = func(format string, args ...interface{}) {
+		msg := fmt.Sprintf(format, args...)
+		if warned[msg] {
+			return
+		}
+		warned[msg] = true
+		if strings.HasPrefix(msg, "cell failed") {
+			failedCells = true
+		}
+		fmt.Fprintln(os.Stderr, "experiments: warning:", msg)
+	}
+
 	var run []string
 	if *exp == "all" {
 		run = ids
@@ -110,11 +147,16 @@ func main() {
 		run = []string{*exp}
 	}
 
+	failedExps := 0
 	for _, id := range run {
 		start := time.Now()
 		t, err := drivers[id](opt)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", id, err)
+			if *keepGoing {
+				failedExps++
+				continue
+			}
 			os.Exit(1)
 		}
 		if *csv {
@@ -139,5 +181,9 @@ func main() {
 		s := mcmgpu.RunCacheStats()
 		fmt.Fprintf(os.Stderr, "run cache: %d simulations, %d hits, %d entries\n",
 			s.Simulations(), s.Hits, s.Entries)
+	}
+	if failedCells || failedExps > 0 {
+		fmt.Fprintf(os.Stderr, "experiments: completed with failures (%d experiment(s) aborted)\n", failedExps)
+		os.Exit(1)
 	}
 }

@@ -17,9 +17,11 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"mcmgpu/internal/config"
 	"mcmgpu/internal/core"
+	"mcmgpu/internal/faultinject"
 	"mcmgpu/internal/prof"
 	"mcmgpu/internal/report"
 	"mcmgpu/internal/trace"
@@ -51,6 +53,11 @@ func main() {
 		asJSON  = flag.Bool("json", false, "emit results as JSON")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf = flag.String("memprofile", "", "write an allocation profile to this file on exit")
+
+		timeout   = flag.Duration("timeout", 0, "wall-clock budget for the whole invocation (0 = none)")
+		maxEvents = flag.Uint64("max-events", 0, "per-run event budget (0 = none)")
+		maxCycles = flag.Uint64("max-cycles", 0, "per-run simulated-cycle budget (0 = none)")
+		keepGoing = flag.Bool("keep-going", false, "continue to the next workload after a failed run; exit 1 at the end")
 	)
 	flag.Parse()
 
@@ -124,6 +131,17 @@ func main() {
 		return
 	}
 
+	fault, err := faultinject.FromEnv()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mcmsim:", err)
+		os.Exit(1)
+	}
+	ropts := core.RunOptions{MaxEvents: *maxEvents, MaxCycles: *maxCycles}
+	if *timeout > 0 {
+		ropts.WallDeadline = time.Now().Add(*timeout)
+	}
+
+	failed := 0
 	for _, spec := range specs {
 		run := spec
 		if *scale != 1.0 {
@@ -134,9 +152,17 @@ func main() {
 			fmt.Fprintln(os.Stderr, "mcmsim:", err)
 			os.Exit(1)
 		}
-		res, err := m.Run(run)
+		specOpts := ropts
+		if fault.Matches(run.Name) {
+			specOpts.Fault = fault
+		}
+		res, err := m.RunWith(run, specOpts)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "mcmsim:", err)
+			if *keepGoing {
+				failed++
+				continue
+			}
 			os.Exit(1)
 		}
 		if *asJSON {
@@ -159,6 +185,14 @@ func main() {
 			fmt.Printf("  energy(pJ): chip=%.0f package=%.0f board=%.0f dram=%.0f total=%.0f\n",
 				e.Chip, e.Package, e.Board, e.DRAM, e.Total)
 		}
+		if res.ClampedEvents > 0 {
+			fmt.Fprintf(os.Stderr, "mcmsim: warning: %s clamped %d event(s) to the current cycle\n",
+				run.Name, res.ClampedEvents)
+		}
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "mcmsim: %d of %d workloads failed\n", failed, len(specs))
+		os.Exit(1)
 	}
 }
 

@@ -19,14 +19,18 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"mcmgpu/internal/config"
 	"mcmgpu/internal/core"
+	"mcmgpu/internal/faultinject"
+	"mcmgpu/internal/report"
 	"mcmgpu/internal/runner"
 	"mcmgpu/internal/stats"
 	"mcmgpu/internal/workload"
@@ -34,14 +38,17 @@ import (
 
 func main() {
 	var (
-		links   = flag.String("links", "384,768,1536,3072", "comma-separated inter-GPM link bandwidths (GB/s)")
-		l15s    = flag.String("l15", "0,8,16", "comma-separated total L1.5 capacities (MB, 0 = none)")
-		wl      = flag.String("workloads", "all", "workload selection (all, m-intensive, c-intensive, limited)")
-		scale   = flag.Float64("scale", 1.0, "workload scale factor")
-		opts    = flag.Bool("optimized", true, "apply distributed scheduling + first touch at every grid point")
-		jobs    = flag.Int("j", 0, "parallel simulation jobs (0 = GOMAXPROCS, 1 = sequential)")
-		nocache = flag.Bool("nocache", false, "disable the memoized run cache")
-		csvOut  = flag.String("csv", "", "write CSV to this file instead of stdout")
+		links     = flag.String("links", "384,768,1536,3072", "comma-separated inter-GPM link bandwidths (GB/s)")
+		l15s      = flag.String("l15", "0,8,16", "comma-separated total L1.5 capacities (MB, 0 = none)")
+		wl        = flag.String("workloads", "all", "workload selection (all, m-intensive, c-intensive, limited)")
+		scale     = flag.Float64("scale", 1.0, "workload scale factor")
+		opts      = flag.Bool("optimized", true, "apply distributed scheduling + first touch at every grid point")
+		jobs      = flag.Int("j", 0, "parallel simulation jobs (0 = GOMAXPROCS, 1 = sequential)")
+		nocache   = flag.Bool("nocache", false, "disable the memoized run cache")
+		csvOut    = flag.String("csv", "", "write CSV to this file instead of stdout")
+		timeout   = flag.Duration("timeout", 0, "wall-clock budget for the whole sweep (0 = none)")
+		maxEvents = flag.Uint64("max-events", 0, "per-simulation event budget (0 = none)")
+		keepGoing = flag.Bool("keep-going", false, "render failed grid cells as ERR instead of aborting; exit 1 at the end if any failed")
 	)
 	flag.Parse()
 
@@ -93,13 +100,34 @@ func main() {
 		addSuite(cfg)
 	}
 
-	r := &runner.Runner{Workers: *jobs}
+	fault, err := faultinject.FromEnv()
+	if err != nil {
+		fail(err)
+	}
+	limits := core.RunOptions{MaxEvents: *maxEvents}
+	if *timeout > 0 {
+		limits.WallDeadline = time.Now().Add(*timeout)
+	}
+	r := &runner.Runner{
+		Workers:  *jobs,
+		FailFast: !*keepGoing,
+		Limits:   limits,
+		Fault:    fault,
+	}
 	if !*nocache {
 		r.Cache = runner.Shared()
 	}
 	results, err := r.Run(jobList)
+	failedCells := false
 	if err != nil {
-		fail(err)
+		var jerrs runner.JobErrors
+		if !*keepGoing || !errors.As(err, &jerrs) {
+			fail(err)
+		}
+		failedCells = true
+		for _, je := range jerrs {
+			fmt.Fprintln(os.Stderr, "sweep: warning: cell failed:", je)
+		}
 	}
 	n := len(specs)
 	baseRes := results[:n]
@@ -125,13 +153,28 @@ func main() {
 		fmt.Fprintf(out, "%d", mb)
 		for col := range linkVals {
 			rs := pointRes(row*len(linkVals) + col)
-			sp := make([]float64, n)
+			var sp []float64
 			for i := range specs {
-				sp[i] = rs[i].SpeedupOver(baseRes[i])
+				// A nil result is a failed job in -keep-going mode; skip
+				// the workload for this grid point.
+				if rs[i] == nil || baseRes[i] == nil {
+					continue
+				}
+				sp = append(sp, rs[i].SpeedupOver(baseRes[i]))
 			}
-			fmt.Fprintf(out, ",%.4f", stats.GeoMean(sp))
+			g, gerr := stats.GeoMean(sp)
+			if gerr != nil || len(sp) == 0 {
+				fmt.Fprintf(out, ",%s", report.ErrCell)
+				failedCells = true
+				continue
+			}
+			fmt.Fprintf(out, ",%.4f", g)
 		}
 		fmt.Fprintln(out)
+	}
+	if failedCells {
+		fmt.Fprintln(os.Stderr, "sweep: completed with failed cells")
+		os.Exit(1)
 	}
 }
 

@@ -29,7 +29,7 @@ func main() {
 		fmt.Printf("%-8d", n)
 		for _, a := range apps {
 			spec := mcmgpu.MustWorkload(a)
-			res, err := mcmgpu.RunScaled(mcmgpu.Monolithic(n), spec, 0.5)
+			res, err := mcmgpu.RunScaled(mcmgpu.MustMonolithic(n), spec, 0.5)
 			if err != nil {
 				log.Fatal(err)
 			}

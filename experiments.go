@@ -3,9 +3,11 @@ package mcmgpu
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"mcmgpu/internal/config"
 	"mcmgpu/internal/energy"
+	"mcmgpu/internal/faultinject"
 	"mcmgpu/internal/report"
 	"mcmgpu/internal/stats"
 	"mcmgpu/internal/workload"
@@ -30,6 +32,33 @@ type Options struct {
 	// (the baseline MCM, the 6 TB/s link, the monolithic bounds) are
 	// simulated once per process.
 	NoCache bool
+
+	// MaxEvents and MaxCycles bound every simulation job (0 = no limit);
+	// a job exceeding its budget fails with a *SimError instead of hanging.
+	MaxEvents uint64
+	MaxCycles uint64
+	// Deadline, when non-zero, is the wall-clock instant after which
+	// running jobs are terminated with a *SimError. The CLIs derive it once
+	// from -timeout so one deadline bounds the whole invocation.
+	Deadline time.Time
+	// KeepGoing switches the runner from fail-fast to collect-errors mode:
+	// a failed (config, workload) cell is reported through Warnf and
+	// rendered as ERR in the tables instead of aborting the experiment.
+	KeepGoing bool
+	// Fault is a deterministic fault-injection plan applied to matching
+	// jobs; the zero value injects nothing. CLIs arm it from MCMGPU_FAULT.
+	Fault faultinject.Plan
+	// Warnf, when non-nil, receives diagnostics that must not pollute the
+	// table output: failed cells in KeepGoing mode and non-zero
+	// ClampedEvents counts. The CLIs route it to stderr.
+	Warnf func(format string, args ...interface{})
+}
+
+// warnf emits a diagnostic when a sink is configured.
+func (o Options) warnf(format string, args ...interface{}) {
+	if o.Warnf != nil {
+		o.Warnf(format, args...)
+	}
 }
 
 func (o Options) scale() float64 {
@@ -66,7 +95,10 @@ func (o Options) mIntensive() []*Spec {
 }
 
 // geomeanSpeedup aggregates sys-over-base speedups for the given specs.
-func geomeanSpeedup(base, sys resultSet, specs []*Spec) float64 {
+// Workloads missing from either set (failed cells in KeepGoing mode) are
+// skipped; if nothing survives, or a speedup is non-positive, an error is
+// returned for the caller to render (typically via report.Cell).
+func geomeanSpeedup(base, sys resultSet, specs []*Spec) (float64, error) {
 	var xs []float64
 	for _, s := range specs {
 		b, ok1 := base[s.Name]
@@ -75,7 +107,31 @@ func geomeanSpeedup(base, sys resultSet, specs []*Spec) float64 {
 			xs = append(xs, r.SpeedupOver(b))
 		}
 	}
+	if len(xs) == 0 && len(specs) > 0 {
+		return 0, fmt.Errorf("geomean speedup: no surviving results for any of %d workloads", len(specs))
+	}
 	return stats.GeoMean(xs)
+}
+
+// speedupCell renders one per-app speedup, degrading to ERR when either run
+// is missing from its result set.
+func speedupCell(base, sys resultSet, name string) interface{} {
+	b, ok1 := base[name]
+	r, ok2 := sys[name]
+	if !ok1 || !ok2 {
+		return report.ErrCell
+	}
+	return r.SpeedupOver(b)
+}
+
+// gbpsCell renders one per-app inter-module bandwidth, degrading to ERR when
+// the run is missing from its result set.
+func gbpsCell(rs resultSet, name string) interface{} {
+	r, ok := rs[name]
+	if !ok {
+		return report.ErrCell
+	}
+	return r.InterModuleGBps
 }
 
 // byCategory partitions specs.
@@ -189,7 +245,7 @@ func AnalyticTable() *Table {
 func Fig2(o Options) (*Table, error) {
 	suite := o.suite()
 	sms := []int{32, 64, 96, 128, 160, 192, 224, 256}
-	base, err := o.runSuite(config.Monolithic(32), suite)
+	base, err := o.runSuite(config.MustMonolithic(32), suite)
 	if err != nil {
 		return nil, err
 	}
@@ -202,12 +258,14 @@ func Fig2(o Options) (*Table, error) {
 		if n == 32 {
 			rs = base
 		} else {
-			rs, err = o.runSuite(config.Monolithic(n), suite)
+			rs, err = o.runSuite(config.MustMonolithic(n), suite)
 			if err != nil {
 				return nil, err
 			}
 		}
-		t.AddRowF(n, float64(n)/32, geomeanSpeedup(base, rs, high), geomeanSpeedup(base, rs, lim))
+		t.AddRowF(n, float64(n)/32,
+			report.Cell(geomeanSpeedup(base, rs, high)),
+			report.Cell(geomeanSpeedup(base, rs, lim)))
 	}
 	t.Note = "paper: high-parallelism apps reach 87.8% of linear at 256 SMs; limited apps plateau"
 	return t, nil
@@ -237,9 +295,9 @@ func Fig4(o Options) (*Table, error) {
 			}
 		}
 		t.AddRowF(fmt.Sprintf("%.0f GB/s", l),
-			geomeanSpeedup(ref, rs, mInt),
-			geomeanSpeedup(ref, rs, cInt),
-			geomeanSpeedup(ref, rs, lim))
+			report.Cell(geomeanSpeedup(ref, rs, mInt)),
+			report.Cell(geomeanSpeedup(ref, rs, cInt)),
+			report.Cell(geomeanSpeedup(ref, rs, lim)))
 	}
 	t.Note = "paper: M-intensive degrade 12%/40%/57% at 1.5TB/s / 768GB/s / 384GB/s"
 	return t, nil
@@ -283,14 +341,14 @@ func Fig6(o Options) (*Table, error) {
 	for _, s := range o.mIntensive() {
 		row := []interface{}{s.Name}
 		for i := range cfgs {
-			row = append(row, results[i][s.Name].SpeedupOver(base[s.Name]))
+			row = append(row, speedupCell(base, results[i], s.Name))
 		}
 		t.AddRowF(row...)
 	}
 	for _, cat := range []workload.Category{MemoryIntensive, ComputeIntensive, LimitedParallelism} {
 		row := []interface{}{cat.String() + " geomean"}
 		for i := range cfgs {
-			row = append(row, geomeanSpeedup(base, results[i], byCategory(suite, cat)))
+			row = append(row, report.Cell(geomeanSpeedup(base, results[i], byCategory(suite, cat))))
 		}
 		t.AddRowF(row...)
 	}
@@ -362,8 +420,15 @@ func Fig15(o Options) (*Table, error) {
 		s    float64
 	}
 	var es []entry
+	skipped := 0
 	for _, s := range suite {
-		es = append(es, entry{s.Name, opt[s.Name].SpeedupOver(base[s.Name])})
+		b, ok1 := base[s.Name]
+		r, ok2 := opt[s.Name]
+		if !ok1 || !ok2 {
+			skipped++
+			continue
+		}
+		es = append(es, entry{s.Name, r.SpeedupOver(b)})
 	}
 	sort.Slice(es, func(i, j int) bool { return es[i].s < es[j].s })
 	t := report.New("Figure 15: optimized MCM-GPU speedup s-curve (sorted)", "Rank", "Workload", "Speedup")
@@ -378,6 +443,9 @@ func Fig15(o Options) (*Table, error) {
 		}
 	}
 	t.Note = fmt.Sprintf("%d improved, %d degraded; paper: 31 improved, 9 degraded", improved, degraded)
+	if skipped > 0 {
+		t.Note += fmt.Sprintf(" (%d workloads skipped: failed runs)", skipped)
+	}
 	return t, nil
 }
 
@@ -405,7 +473,11 @@ func Fig16(o Options) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		t.AddRowF(nc.name, (geomeanSpeedup(base, rs, suite)-1)*100)
+		if g, gerr := geomeanSpeedup(base, rs, suite); gerr != nil {
+			t.AddRowF(nc.name, report.ErrCell)
+		} else {
+			t.AddRowF(nc.name, (g-1)*100)
+		}
 	}
 	t.Note = "paper: L1.5 alone +5.2%, DS alone ~0%, FT alone -4.7%, combined +22.8%"
 	return t, nil
@@ -435,7 +507,7 @@ func Fig17(o Options) (*Table, error) {
 		} else if rs, err = o.runSuite(nc.cfg, suite); err != nil {
 			return nil, err
 		}
-		t.AddRowF(nc.name, geomeanSpeedup(base, rs, suite))
+		t.AddRowF(nc.name, report.Cell(geomeanSpeedup(base, rs, suite)))
 	}
 	t.Note = "paper: optimized multi-GPU +25.1%, MCM-GPU +51.9% over baseline multi-GPU"
 	return t, nil
@@ -456,13 +528,13 @@ func GPMScale(o Options) (*Table, error) {
 	t := report.New("Extension: GPM-count scaling at constant aggregate resources",
 		"GPMs", "SMs/GPM", "Topology", "Perf vs monolithic-256", "Mean inter-GPM GB/s")
 	for _, gpms := range []int{2, 4, 8, 16} {
-		cfg := config.MCMGPMs(gpms)
+		cfg := config.MustMCMGPMs(gpms)
 		rs, err := o.runSuite(cfg, suite)
 		if err != nil {
 			return nil, err
 		}
 		t.AddRowF(gpms, 256/gpms, cfg.Topology.String(),
-			geomeanSpeedup(mono, rs, suite), meanInterGPM(rs, suite))
+			report.Cell(geomeanSpeedup(mono, rs, suite)), meanInterGPM(rs, suite))
 	}
 	t.Note = "extension experiment; the paper evaluates only the 4-GPM point and notes topology exploration as out of scope"
 	return t, nil
@@ -525,8 +597,20 @@ func Headline(o Options) (*Table, error) {
 		}
 	}
 	t := report.New("Headline results (geomean across all workloads)", "Metric", "Measured", "Paper")
+	pct := func(g float64, err error) string {
+		if err != nil {
+			return report.ErrCell
+		}
+		return fmt.Sprintf("+%.1f%%", (g-1)*100)
+	}
+	gap := func(g float64, err error) string {
+		if err != nil {
+			return report.ErrCell
+		}
+		return fmt.Sprintf("%.1f%%", (1-g)*100)
+	}
 	t.AddRowF("Optimized vs baseline MCM-GPU",
-		fmt.Sprintf("+%.1f%%", (geomeanSpeedup(rs["base"], rs["opt"], suite)-1)*100), "+22.8%")
+		pct(geomeanSpeedup(rs["base"], rs["opt"], suite)), "+22.8%")
 	bwBase := meanInterGPM(rs["base"], suite)
 	bwOpt := meanInterGPM(rs["opt"], suite)
 	ratio := 0.0
@@ -535,11 +619,11 @@ func Headline(o Options) (*Table, error) {
 	}
 	t.AddRowF("Inter-GPM bandwidth reduction", fmt.Sprintf("%.1fx", ratio), "5x")
 	t.AddRowF("Optimized MCM vs largest buildable monolithic (128 SM)",
-		fmt.Sprintf("+%.1f%%", (geomeanSpeedup(rs["mono128"], rs["opt"], suite)-1)*100), "+45.5%")
+		pct(geomeanSpeedup(rs["mono128"], rs["opt"], suite)), "+45.5%")
 	t.AddRowF("Gap to unbuildable 256-SM monolithic",
-		fmt.Sprintf("%.1f%%", (1-geomeanSpeedup(rs["mono256"], rs["opt"], suite))*100), "<10%")
+		gap(geomeanSpeedup(rs["mono256"], rs["opt"], suite)), "<10%")
 	t.AddRowF("Optimized MCM vs equally equipped multi-GPU",
-		fmt.Sprintf("+%.1f%%", (geomeanSpeedup(rs["multiOpt"], rs["opt"], suite)-1)*100), "+26.8%")
+		pct(geomeanSpeedup(rs["multiOpt"], rs["opt"], suite)), "+26.8%")
 	return t, nil
 }
 
@@ -590,14 +674,14 @@ func speedupTable(o Options, title, note string, systems ...namedCfg) (*Table, e
 	for _, s := range o.mIntensive() {
 		row := []interface{}{s.Name}
 		for i := range systems {
-			row = append(row, results[i][s.Name].SpeedupOver(base[s.Name]))
+			row = append(row, speedupCell(base, results[i], s.Name))
 		}
 		t.AddRowF(row...)
 	}
 	for _, cat := range []workload.Category{MemoryIntensive, ComputeIntensive, LimitedParallelism} {
 		row := []interface{}{cat.String() + " geomean"}
 		for i := range systems {
-			row = append(row, geomeanSpeedup(base, results[i], byCategory(suite, cat)))
+			row = append(row, report.Cell(geomeanSpeedup(base, results[i], byCategory(suite, cat))))
 		}
 		t.AddRowF(row...)
 	}
@@ -625,9 +709,9 @@ func interGPMTable(o Options, title, note string, systems ...namedCfg) (*Table, 
 	}
 	t := report.New(title, headers...)
 	for _, s := range o.mIntensive() {
-		row := []interface{}{s.Name, base[s.Name].InterModuleGBps}
+		row := []interface{}{s.Name, gbpsCell(base, s.Name)}
 		for i := range systems {
-			row = append(row, results[i][s.Name].InterModuleGBps)
+			row = append(row, gbpsCell(results[i], s.Name))
 		}
 		t.AddRowF(row...)
 	}

@@ -418,10 +418,13 @@ func OptimizedMCM16() *Config {
 // Monolithic returns a single-die GPU with the given SM count. The memory
 // system scales with SMs as in Figure 2: 384 GB/s of DRAM bandwidth and 2 MB
 // of L2 per 32 SMs. SM counts above 128 are not manufacturable; the paper
-// uses them as hypothetical upper bounds, and so do we.
-func Monolithic(sms int) *Config {
-	if sms%32 != 0 {
-		panic(fmt.Sprintf("config: Monolithic SM count %d must be a multiple of 32", sms))
+// uses them as hypothetical upper bounds, and so do we. SM counts that are
+// not positive multiples of 32 cannot scale the memory system and are
+// rejected with an error: this is user input (CLI flags, sweep grids), not
+// a programmer invariant.
+func Monolithic(sms int) (*Config, error) {
+	if sms <= 0 || sms%32 != 0 {
+		return nil, fmt.Errorf("config: Monolithic SM count %d must be a positive multiple of 32", sms)
 	}
 	parts := sms / 32
 	return &Config{
@@ -454,13 +457,24 @@ func Monolithic(sms int) *Config {
 		Placement:          PlaceInterleave,
 		PageBytes:          4 * KB,
 		CTAChunksPerModule: 1,
+	}, nil
+}
+
+// MustMonolithic is Monolithic for callers whose SM count is a known-good
+// literal (tests, examples, presets); it panics on the errors Monolithic
+// returns.
+func MustMonolithic(sms int) *Config {
+	c, err := Monolithic(sms)
+	if err != nil {
+		panic(err)
 	}
+	return c
 }
 
 // LargestBuildableMonolithic returns the 128-SM GPU the paper assumes is the
 // largest die that can be manufactured.
 func LargestBuildableMonolithic() *Config {
-	c := Monolithic(128)
+	c := MustMonolithic(128)
 	c.Name = "monolithic-128SM-buildable"
 	return c
 }
@@ -468,7 +482,7 @@ func LargestBuildableMonolithic() *Config {
 // UnbuildableMonolithic returns the hypothetical 256-SM single-die GPU used
 // as the upper bound throughout the evaluation.
 func UnbuildableMonolithic() *Config {
-	c := Monolithic(256)
+	c := MustMonolithic(256)
 	c.Name = "monolithic-256SM-unbuildable"
 	return c
 }
@@ -543,12 +557,13 @@ func MultiGPUOptimized() *Config {
 // on-chip fabric per 64 SMs. Up to 4 GPMs use the paper's ring; larger
 // counts use a 2D mesh, the exploration the paper leaves as out of scope.
 // Smaller GPMs are cheaper to manufacture but pay more NUMA penalty — this
-// preset family quantifies that trade-off.
-func MCMGPMs(gpms int) *Config {
+// preset family quantifies that trade-off. GPM counts outside {2, 4, 8, 16}
+// cannot partition the 256-SM budget evenly and are rejected with an error.
+func MCMGPMs(gpms int) (*Config, error) {
 	switch gpms {
 	case 2, 4, 8, 16:
 	default:
-		panic(fmt.Sprintf("config: MCMGPMs(%d): GPM count must be 2, 4, 8 or 16", gpms))
+		return nil, fmt.Errorf("config: MCMGPMs(%d): GPM count must be 2, 4, 8 or 16", gpms)
 	}
 	c := BaselineMCM()
 	c.Name = fmt.Sprintf("mcm-%dgpm-optimized", gpms)
@@ -568,6 +583,16 @@ func MCMGPMs(gpms int) *Config {
 	c.Placement = PlaceFirstTouch
 	if gpms > 4 {
 		c.Topology = TopoMesh
+	}
+	return c, nil
+}
+
+// MustMCMGPMs is MCMGPMs for known-good literal GPM counts; it panics on
+// the errors MCMGPMs returns.
+func MustMCMGPMs(gpms int) *Config {
+	c, err := MCMGPMs(gpms)
+	if err != nil {
+		panic(err)
 	}
 	return c
 }

@@ -102,7 +102,10 @@ func TestOptimizedMCM(t *testing.T) {
 
 func TestMonolithicScaling(t *testing.T) {
 	for _, sms := range []int{32, 64, 96, 128, 160, 192, 224, 256} {
-		c := Monolithic(sms)
+		c, err := Monolithic(sms)
+		if err != nil {
+			t.Fatalf("Monolithic(%d): %v", sms, err)
+		}
 		if err := c.Validate(); err != nil {
 			t.Fatalf("monolithic %d invalid: %v", sms, err)
 		}
@@ -133,12 +136,20 @@ func TestMonolithicScaling(t *testing.T) {
 }
 
 func TestMonolithicRejectsNonMultiple(t *testing.T) {
+	for _, sms := range []int{100, 0, -32, 33} {
+		if c, err := Monolithic(sms); err == nil {
+			t.Errorf("Monolithic(%d) = %v, want error", sms, c)
+		}
+	}
+}
+
+func TestMustMonolithicPanicsOnBadCount(t *testing.T) {
 	defer func() {
 		if recover() == nil {
-			t.Fatalf("Monolithic(100) did not panic")
+			t.Fatalf("MustMonolithic(100) did not panic")
 		}
 	}()
-	Monolithic(100)
+	MustMonolithic(100)
 }
 
 func TestMultiGPU(t *testing.T) {
@@ -259,7 +270,10 @@ func TestCacheConfigHelpers(t *testing.T) {
 
 func TestMCMGPMs(t *testing.T) {
 	for _, gpms := range []int{2, 4, 8, 16} {
-		c := MCMGPMs(gpms)
+		c, err := MCMGPMs(gpms)
+		if err != nil {
+			t.Fatalf("MCMGPMs(%d): %v", gpms, err)
+		}
 		if err := c.Validate(); err != nil {
 			t.Fatalf("%d GPMs invalid: %v", gpms, err)
 		}
@@ -283,10 +297,18 @@ func TestMCMGPMs(t *testing.T) {
 }
 
 func TestMCMGPMsRejectsOddCounts(t *testing.T) {
+	for _, gpms := range []int{3, 0, -2, 5} {
+		if c, err := MCMGPMs(gpms); err == nil {
+			t.Errorf("MCMGPMs(%d) = %v, want error", gpms, c)
+		}
+	}
+}
+
+func TestMustMCMGPMsPanicsOnBadCount(t *testing.T) {
 	defer func() {
 		if recover() == nil {
-			t.Fatalf("MCMGPMs(3) did not panic")
+			t.Fatalf("MustMCMGPMs(3) did not panic")
 		}
 	}()
-	MCMGPMs(3)
+	MustMCMGPMs(3)
 }

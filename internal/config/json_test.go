@@ -12,7 +12,7 @@ import (
 func TestJSONRoundTripAllPresets(t *testing.T) {
 	presets := []*Config{
 		BaselineMCM(), OptimizedMCM(), OptimizedMCM16(),
-		Monolithic(128), UnbuildableMonolithic(),
+		MustMonolithic(128), UnbuildableMonolithic(),
 		MultiGPUBaseline(), MultiGPUOptimized(),
 		MCMWithLink(1536),
 	}

@@ -244,8 +244,8 @@ func TestLimitedParallelismDoesNotScale(t *testing.T) {
 		s.MemOpsPerWarp = 64
 		s.FootprintLines = 32768
 	})
-	small := mustRun(t, config.Monolithic(128), spec)
-	big := mustRun(t, config.Monolithic(256), spec)
+	small := mustRun(t, config.MustMonolithic(128), spec)
+	big := mustRun(t, config.MustMonolithic(256), spec)
 	gain := float64(small.Cycles) / float64(big.Cycles)
 	if gain > 1.3 {
 		t.Errorf("64-CTA workload sped up %.2fx from 128->256 SMs; should plateau", gain)
@@ -257,8 +257,8 @@ func TestHighParallelismScales(t *testing.T) {
 		s.CTAs = 2048
 		s.ComputePerMem = 24 // compute-bound so SM count dominates
 	})
-	small := mustRun(t, config.Monolithic(64), spec)
-	big := mustRun(t, config.Monolithic(256), spec)
+	small := mustRun(t, config.MustMonolithic(64), spec)
+	big := mustRun(t, config.MustMonolithic(256), spec)
 	gain := float64(small.Cycles) / float64(big.Cycles)
 	if gain < 2.5 {
 		t.Errorf("high-parallelism compute-bound workload gained only %.2fx from 64->256 SMs", gain)

@@ -57,6 +57,7 @@ func (m *Machine) putCTA(cc *ctaCtx) {
 }
 
 func (m *Machine) getLoad() *loadCtx {
+	m.liveLoads++
 	lc := m.freeLoads
 	if lc == nil {
 		return &loadCtx{m: m}
@@ -67,6 +68,7 @@ func (m *Machine) getLoad() *loadCtx {
 }
 
 func (m *Machine) putLoad(lc *loadCtx) {
+	m.liveLoads--
 	lc.wc = nil
 	lc.pt = nil
 	lc.line = 0
@@ -76,6 +78,7 @@ func (m *Machine) putLoad(lc *loadCtx) {
 }
 
 func (m *Machine) getStore() *storeCtx {
+	m.liveStores++
 	sc := m.freeStores
 	if sc == nil {
 		return &storeCtx{m: m}
@@ -86,6 +89,7 @@ func (m *Machine) getStore() *storeCtx {
 }
 
 func (m *Machine) putStore(sc *storeCtx) {
+	m.liveStores--
 	sc.sm = nil
 	sc.pt = nil
 	sc.line = 0

@@ -58,8 +58,19 @@ func (wc *warpCtx) StoreSlotFree() { wc.memWrite() }
 
 // Run executes the workload on the machine: KernelIters sequential kernel
 // launches with cache flushes at each kernel boundary, then collects the
-// Result. Run may be called once per Machine.
+// Result. Run may be called once per Machine. It is RunWith with no bounds:
+// the run completes, or a programmer-invariant violation panics.
 func (m *Machine) Run(spec *workload.Spec) (*Result, error) {
+	return m.RunWith(spec, RunOptions{})
+}
+
+// RunWith is Run bounded by opts: the run additionally terminates — with a
+// *SimError carrying a diagnosis snapshot — when a budget is exhausted, the
+// wall deadline passes, or the context is canceled. With the zero RunOptions
+// it is exactly Run; with limits set but not tripped, the result is
+// byte-identical to an unbounded run (the budget check only observes the
+// simulation).
+func (m *Machine) RunWith(spec *workload.Spec, opts RunOptions) (*Result, error) {
 	if m.ran {
 		return nil, fmt.Errorf("core: machine %q already ran; build a new one", m.cfg.Name)
 	}
@@ -71,20 +82,30 @@ func (m *Machine) Run(spec *workload.Spec) (*Result, error) {
 		return nil, fmt.Errorf("core: CTA needs %d warps, SM holds %d", spec.WarpsPerCTA, m.cfg.WarpsPerSM)
 	}
 	m.spec = spec
+	if opts.bounded() {
+		m.opts = opts
+		m.sim.SetCheck(opts.checkEvery(), m.checkBudgets)
+	}
 
 	for iter := 0; iter < spec.KernelIters; iter++ {
 		if iter > 0 {
 			// Kernel launch overhead between convergence-loop iterations.
 			m.sim.RunUntil(m.sim.Now() + kernelGapCycles)
+			if err := m.sim.StopErr(); err != nil {
+				return nil, err
+			}
 		}
-		m.runKernel()
+		if err := m.runKernel(); err != nil {
+			return nil, err
+		}
 		m.flushKernelBoundary()
 	}
 	return m.collect(), nil
 }
 
-// runKernel launches all CTAs of one kernel and drains the event queue.
-func (m *Machine) runKernel() {
+// runKernel launches all CTAs of one kernel and drains the event queue. It
+// returns the budget error that stopped the drain, if any.
+func (m *Machine) runKernel() error {
 	m.sched = cta.New(m.cfg, m.spec.CTAs)
 	// Initial fill: pass over SMs (which alternate across modules) until
 	// no SM can accept another CTA. With the centralized scheduler this
@@ -105,10 +126,16 @@ func (m *Machine) runKernel() {
 		}
 	}
 	m.sim.Run()
+	if err := m.sim.StopErr(); err != nil {
+		// A budget terminated the drain; the queue is intentionally not
+		// empty, so the drained-kernel invariant below does not apply.
+		return err
+	}
 	if m.liveCTA != 0 || m.sched.Remaining() != 0 {
 		panic(fmt.Sprintf("core: kernel drained with %d live CTAs and %d unissued",
 			m.liveCTA, m.sched.Remaining()))
 	}
+	return nil
 }
 
 // launchCTA places CTA idx on SM s and starts its warps at time at.

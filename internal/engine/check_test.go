@@ -1,0 +1,124 @@
+package engine
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestCheckStopsRun asserts an installed check can stop Run mid-drain, with
+// the queue left intact and the error reported through StopErr.
+func TestCheckStopsRun(t *testing.T) {
+	s := New()
+	for i := Cycle(0); i < 100; i++ {
+		s.At(i, func() {})
+	}
+	stop := errors.New("budget")
+	s.SetCheck(10, func() error {
+		if s.Processed() >= 50 {
+			return stop
+		}
+		return nil
+	})
+	s.Run()
+	if !errors.Is(s.StopErr(), stop) {
+		t.Fatalf("StopErr = %v, want the check's error", s.StopErr())
+	}
+	if s.Pending() == 0 {
+		t.Fatal("stopped run drained the queue")
+	}
+	if s.Processed() < 50 || s.Processed() > 60 {
+		t.Fatalf("stopped after %d events, want 50..60 (check interval 10)", s.Processed())
+	}
+}
+
+// TestCheckInterval asserts the check runs once per interval dispatches, not
+// per event.
+func TestCheckInterval(t *testing.T) {
+	s := New()
+	for i := Cycle(0); i < 100; i++ {
+		s.At(i, func() {})
+	}
+	calls := 0
+	s.SetCheck(25, func() error { calls++; return nil })
+	s.Run()
+	if calls != 4 {
+		t.Fatalf("check ran %d times over 100 events at interval 25, want 4", calls)
+	}
+	if s.StopErr() != nil {
+		t.Fatalf("untripped check set StopErr: %v", s.StopErr())
+	}
+}
+
+// TestCheckRemovable asserts SetCheck(0, ...) restores the unchecked path
+// and clears stale stop state.
+func TestCheckRemovable(t *testing.T) {
+	s := New()
+	s.At(0, func() {})
+	s.SetCheck(1, func() error { return errors.New("always") })
+	s.Run()
+	if s.StopErr() == nil {
+		t.Fatal("check did not stop the run")
+	}
+	s.SetCheck(0, nil)
+	if s.StopErr() != nil {
+		t.Fatal("removing the check kept a stale StopErr")
+	}
+	s.At(1, func() {})
+	if s.Run() != 1 {
+		t.Fatal("unchecked run after removal did not drain")
+	}
+}
+
+// TestCheckHonoredByRunUntil asserts RunUntil consults the check too.
+func TestCheckHonoredByRunUntil(t *testing.T) {
+	s := New()
+	for i := Cycle(0); i < 100; i++ {
+		s.At(i, func() {})
+	}
+	stop := errors.New("budget")
+	s.SetCheck(1, func() error {
+		if s.Processed() >= 10 {
+			return stop
+		}
+		return nil
+	})
+	s.RunUntil(1000)
+	if !errors.Is(s.StopErr(), stop) {
+		t.Fatalf("RunUntil ignored the check: StopErr = %v", s.StopErr())
+	}
+	if s.Processed() > 20 {
+		t.Fatalf("RunUntil processed %d events past the stop", s.Processed())
+	}
+}
+
+// TestCheckedRunMatchesUnchecked asserts an installed-but-untripped check
+// leaves the run's observable outcome identical to an unchecked run.
+func TestCheckedRunMatchesUnchecked(t *testing.T) {
+	trace := func(check bool) []Cycle {
+		s := New()
+		var got []Cycle
+		for i := Cycle(0); i < 50; i++ {
+			i := i
+			s.At(i*3, func() {
+				got = append(got, s.Now())
+				if i%7 == 0 {
+					s.After(2, func() { got = append(got, s.Now()) })
+				}
+			})
+		}
+		if check {
+			s.SetCheck(1, func() error { return nil })
+		}
+		s.Run()
+		return got
+	}
+	a, b := trace(false), trace(true)
+	if len(a) != len(b) {
+		t.Fatalf("checked run dispatched %d events, unchecked %d", len(b), len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("event %d at cycle %d (unchecked) vs %d (checked)", i, a[i], b[i])
+		}
+	}
+}

@@ -66,6 +66,13 @@ type Sim struct {
 	seq     uint64
 	nRun    uint64
 	clamped uint64
+
+	// Periodic stop-check state (see SetCheck). check == nil is the common
+	// case and costs one predictable branch per event in Run/RunUntil.
+	check      func() error
+	checkEvery uint64
+	sinceCheck uint64
+	stopErr    error
 }
 
 // New returns an empty simulator positioned at cycle 0.
@@ -197,21 +204,76 @@ func (s *Sim) Step() bool {
 	return true
 }
 
+// SetCheck installs fn to be consulted every interval dispatched events
+// during Run and RunUntil. A non-nil return from fn stops the loop; the error
+// is retrievable through StopErr until the next Run/RunUntil call. fn must
+// not mutate simulation state — it may only observe (Now, Processed, Pending)
+// and decide — which is what keeps a run with an installed-but-untripped
+// check byte-identical to an unchecked run. Passing fn == nil or
+// interval == 0 removes the check, restoring the unchecked fast path.
+func (s *Sim) SetCheck(interval uint64, fn func() error) {
+	if interval == 0 {
+		fn = nil
+	}
+	s.check = fn
+	s.checkEvery = interval
+	s.sinceCheck = 0
+	s.stopErr = nil
+}
+
+// StopErr returns the error with which the installed check stopped the most
+// recent Run/RunUntil call, or nil if the queue drained (or the limit was
+// reached) normally.
+func (s *Sim) StopErr() error { return s.stopErr }
+
+// tick advances the periodic check state by one dispatched event and reports
+// whether the loop must stop. Callers only invoke it when a check is
+// installed.
+func (s *Sim) tick() bool {
+	s.sinceCheck++
+	if s.sinceCheck < s.checkEvery {
+		return false
+	}
+	s.sinceCheck = 0
+	if err := s.check(); err != nil {
+		s.stopErr = err
+		return true
+	}
+	return false
+}
+
 // Run executes events until the queue drains and returns the number of
-// events processed by this call.
+// events processed by this call. If a check is installed (SetCheck) and
+// stops the loop, the queue is left intact and StopErr reports why.
 func (s *Sim) Run() uint64 {
 	start := s.nRun
+	if s.check == nil {
+		for s.Step() {
+		}
+		return s.nRun - start
+	}
+	s.stopErr = nil
 	for s.Step() {
+		if s.tick() {
+			break
+		}
 	}
 	return s.nRun - start
 }
 
 // RunUntil executes events with timestamps <= limit. It returns the number
 // of events processed by this call. Events beyond the limit remain queued.
+// An installed check (SetCheck) is honored exactly as in Run.
 func (s *Sim) RunUntil(limit Cycle) uint64 {
 	start := s.nRun
+	if s.check != nil {
+		s.stopErr = nil
+	}
 	for len(s.events) > 0 && s.events[0].at <= limit {
 		s.Step()
+		if s.check != nil && s.tick() {
+			return s.nRun - start
+		}
 	}
 	if s.now < limit && len(s.events) == 0 {
 		s.now = limit

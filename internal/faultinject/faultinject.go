@@ -1,0 +1,176 @@
+// Package faultinject provides deterministic fault injection for the
+// simulator's run lifecycle. A Plan describes one fault — a panic, an
+// event-loop livelock, a runaway clock, or a corrupted run budget — armed to
+// fire once a run has dispatched a chosen number of events, optionally
+// restricted to a single workload. Because the event loop is deterministic,
+// a plan fires at exactly the same point of the same run every time, which
+// is what lets tests and CI prove that every containment path (panic
+// recovery in the runner, each budget kind in core) actually triggers.
+//
+// Plans are plain values with no behavior of their own: internal/core
+// consults the plan from its periodic budget check and performs the fault,
+// so this package stays free of simulator dependencies beyond the engine.
+// CLIs arm a plan from the MCMGPU_FAULT environment variable (see FromEnv);
+// tests construct plans directly.
+package faultinject
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"mcmgpu/internal/engine"
+)
+
+// EnvVar is the environment variable the CLIs read to arm a fault plan.
+const EnvVar = "MCMGPU_FAULT"
+
+// Kind enumerates the faults a Plan can inject.
+type Kind uint8
+
+const (
+	// None is the zero value: no fault armed.
+	None Kind = iota
+	// Panic panics out of the event loop with an Injected value, exercising
+	// the runner's recover path.
+	Panic
+	// Stall schedules a same-cycle self-rescheduling event: the queue never
+	// drains and the clock never advances — the classic livelock only an
+	// event or wall-clock budget can catch.
+	Stall
+	// Spin schedules a +1-cycle self-rescheduling event: the queue never
+	// drains but the clock runs away, which is what a cycle budget catches.
+	Spin
+	// CorruptBudget zeroes the run's remaining event budget, forcing the
+	// next periodic check to trip as if MaxEvents had been exceeded — even
+	// when the configured budget was generous or absent. It proves the
+	// budget-trip plumbing end to end without waiting out a real budget.
+	CorruptBudget
+)
+
+// String returns the kind's plan-syntax name.
+func (k Kind) String() string {
+	switch k {
+	case None:
+		return "none"
+	case Panic:
+		return "panic"
+	case Stall:
+		return "stall"
+	case Spin:
+		return "spin"
+	case CorruptBudget:
+		return "corrupt"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Plan is one armed fault. The zero value is disabled.
+type Plan struct {
+	// Kind selects the fault; None disables the plan.
+	Kind Kind
+	// AtEvent arms the fault to fire at the first periodic check after the
+	// run has dispatched at least this many events. 0 fires at the first
+	// check.
+	AtEvent uint64
+	// Workload, when non-empty, restricts the fault to runs of the workload
+	// with this name; other runs are untouched.
+	Workload string
+}
+
+// Enabled reports whether the plan injects anything.
+func (p Plan) Enabled() bool { return p.Kind != None }
+
+// Matches reports whether the plan applies to a run of the named workload.
+func (p Plan) Matches(workload string) bool {
+	return p.Enabled() && (p.Workload == "" || p.Workload == workload)
+}
+
+// String renders the plan in the syntax Parse accepts ("" when disabled).
+func (p Plan) String() string {
+	if !p.Enabled() {
+		return ""
+	}
+	s := fmt.Sprintf("%s@%d", p.Kind, p.AtEvent)
+	if p.Workload != "" {
+		s += ":" + p.Workload
+	}
+	return s
+}
+
+// Parse builds a Plan from its string form: kind@event[:workload], e.g.
+// "panic@1000", "stall@50000:GEMM". An empty string is the disabled plan.
+func Parse(s string) (Plan, error) {
+	if s == "" {
+		return Plan{}, nil
+	}
+	var p Plan
+	rest := s
+	if i := strings.IndexByte(rest, ':'); i >= 0 {
+		p.Workload = rest[i+1:]
+		rest = rest[:i]
+		if p.Workload == "" {
+			return Plan{}, fmt.Errorf("faultinject: %q: empty workload filter", s)
+		}
+	}
+	kindStr, atStr, ok := strings.Cut(rest, "@")
+	if !ok {
+		return Plan{}, fmt.Errorf("faultinject: %q: want kind@event[:workload]", s)
+	}
+	switch kindStr {
+	case "panic":
+		p.Kind = Panic
+	case "stall":
+		p.Kind = Stall
+	case "spin":
+		p.Kind = Spin
+	case "corrupt":
+		p.Kind = CorruptBudget
+	default:
+		return Plan{}, fmt.Errorf("faultinject: %q: unknown kind %q (want panic, stall, spin or corrupt)", s, kindStr)
+	}
+	at, err := strconv.ParseUint(atStr, 10, 64)
+	if err != nil {
+		return Plan{}, fmt.Errorf("faultinject: %q: bad event count %q", s, atStr)
+	}
+	p.AtEvent = at
+	return p, nil
+}
+
+// FromEnv parses the plan armed through the MCMGPU_FAULT environment
+// variable. An unset or empty variable yields the disabled plan.
+func FromEnv() (Plan, error) {
+	return Parse(os.Getenv(EnvVar))
+}
+
+// Injected is the value a Panic-kind fault panics with, so recovery layers
+// and tests can recognize an injected panic unambiguously.
+type Injected struct {
+	Plan Plan
+}
+
+// Error makes Injected usable as an error if a recovery layer chooses to
+// treat it as one.
+func (i Injected) Error() string {
+	return fmt.Sprintf("faultinject: injected panic (%s)", i.Plan)
+}
+
+// Staller is the self-rescheduling engine event behind the Stall and Spin
+// kinds: every dispatch reschedules itself Delta cycles ahead, so the queue
+// never drains. Delta == 0 freezes the clock (Stall); Delta > 0 makes it run
+// away (Spin).
+type Staller struct {
+	Sim   *engine.Sim
+	Delta engine.Cycle
+}
+
+// Dispatch implements engine.Event.
+func (st *Staller) Dispatch(uint8) {
+	st.Sim.AtEvent(st.Sim.Now()+st.Delta, st, 0)
+}
+
+// Start schedules the staller's first event at the current time.
+func (st *Staller) Start() {
+	st.Sim.AtEvent(st.Sim.Now(), st, 0)
+}

@@ -1,0 +1,124 @@
+package faultinject
+
+import (
+	"testing"
+
+	"mcmgpu/internal/engine"
+)
+
+func TestParseStringRoundTrip(t *testing.T) {
+	cases := []string{
+		"panic@1000",
+		"stall@0",
+		"spin@50000",
+		"corrupt@42:GEMM",
+		"stall@7:CFD",
+	}
+	for _, s := range cases {
+		p, err := Parse(s)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", s, err)
+		}
+		if !p.Enabled() {
+			t.Fatalf("Parse(%q) yielded a disabled plan", s)
+		}
+		if got := p.String(); got != s {
+			t.Errorf("round trip %q -> %q", s, got)
+		}
+	}
+}
+
+func TestParseEmptyIsDisabled(t *testing.T) {
+	p, err := Parse("")
+	if err != nil {
+		t.Fatalf("Parse(\"\"): %v", err)
+	}
+	if p.Enabled() {
+		t.Fatal("empty string parsed to an enabled plan")
+	}
+	if p.String() != "" {
+		t.Fatalf("disabled plan renders %q, want empty", p.String())
+	}
+}
+
+func TestParseRejectsMalformed(t *testing.T) {
+	for _, s := range []string{
+		"panic",            // no event count
+		"panic@",           // empty event count
+		"panic@x",          // non-numeric event count
+		"explode@100",      // unknown kind
+		"stall@100:",       // empty workload filter
+		"@100",             // empty kind
+		"panic@-1",         // negative event count
+		"none@0",           // None is not a spelled kind
+	} {
+		if p, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q) = %+v, want error", s, p)
+		}
+	}
+}
+
+func TestMatches(t *testing.T) {
+	if (Plan{}).Matches("CFD") {
+		t.Error("disabled plan matches")
+	}
+	any := Plan{Kind: Panic}
+	if !any.Matches("CFD") || !any.Matches("GEMM") {
+		t.Error("unfiltered plan should match every workload")
+	}
+	scoped := Plan{Kind: Panic, Workload: "CFD"}
+	if !scoped.Matches("CFD") || scoped.Matches("GEMM") {
+		t.Error("scoped plan should match only its workload")
+	}
+}
+
+func TestFromEnv(t *testing.T) {
+	t.Setenv(EnvVar, "spin@123:NW")
+	p, err := FromEnv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Plan{Kind: Spin, AtEvent: 123, Workload: "NW"}
+	if p != want {
+		t.Fatalf("FromEnv = %+v, want %+v", p, want)
+	}
+	t.Setenv(EnvVar, "")
+	if p, err = FromEnv(); err != nil || p.Enabled() {
+		t.Fatalf("empty env: %+v, %v; want disabled plan", p, err)
+	}
+}
+
+// TestStallerFreezesClock asserts the Delta==0 staller keeps the queue alive
+// without advancing time, and the Delta==1 variant advances it.
+func TestStallerFreezesClock(t *testing.T) {
+	sim := engine.New()
+	st := &Staller{Sim: sim}
+	st.Start()
+	for i := 0; i < 100; i++ {
+		if !sim.Step() {
+			t.Fatal("staller let the queue drain")
+		}
+	}
+	if sim.Now() != 0 {
+		t.Fatalf("stall advanced the clock to %d", sim.Now())
+	}
+
+	sim2 := engine.New()
+	sp := &Staller{Sim: sim2, Delta: 1}
+	sp.Start()
+	for i := 0; i < 100; i++ {
+		if !sim2.Step() {
+			t.Fatal("spinner let the queue drain")
+		}
+	}
+	if sim2.Now() < 99 {
+		t.Fatalf("spin advanced the clock only to %d after 100 events", sim2.Now())
+	}
+}
+
+func TestInjectedError(t *testing.T) {
+	inj := Injected{Plan: Plan{Kind: Panic, AtEvent: 10}}
+	if inj.Error() == "" {
+		t.Fatal("Injected.Error is empty")
+	}
+}

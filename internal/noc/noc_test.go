@@ -113,7 +113,7 @@ func TestCrossbar(t *testing.T) {
 }
 
 func TestSingleModulePanics(t *testing.T) {
-	n := New(config.Monolithic(128))
+	n := New(config.MustMonolithic(128))
 	defer func() {
 		if recover() == nil {
 			t.Fatalf("Send on single-module network did not panic")

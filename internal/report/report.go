@@ -23,6 +23,22 @@ func New(title string, headers ...string) *Table {
 	return &Table{Title: title, Headers: headers}
 }
 
+// ErrCell is the cell rendered for a value that could not be computed — a
+// failed simulation, a degenerate aggregate. Rendering failures as cells
+// instead of aborting is what lets one pathological (config, workload) pair
+// degrade a single table entry rather than kill a whole experiment sweep.
+const ErrCell = "ERR"
+
+// Cell returns v for AddRowF unless err is non-nil, in which case it
+// returns ErrCell. It is the one-line adapter between (value, error)
+// aggregates (e.g. stats.GeoMean) and table rows.
+func Cell(v interface{}, err error) interface{} {
+	if err != nil {
+		return ErrCell
+	}
+	return v
+}
+
 // AddRow appends a row; cells beyond the header count are rejected.
 func (t *Table) AddRow(cells ...string) {
 	if len(cells) > len(t.Headers) {
@@ -57,6 +73,8 @@ func formatCell(c interface{}) string {
 		return strconv.FormatInt(v, 10)
 	case uint64:
 		return strconv.FormatUint(v, 10)
+	case error:
+		return ErrCell
 	case fmt.Stringer:
 		return v.String()
 	default:

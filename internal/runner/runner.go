@@ -18,13 +18,17 @@
 package runner
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 
 	"mcmgpu/internal/config"
 	"mcmgpu/internal/core"
+	"mcmgpu/internal/faultinject"
 	"mcmgpu/internal/workload"
 )
 
@@ -47,9 +51,10 @@ func (j Job) key() string {
 	return fmt.Sprintf("%s|%s|%g", j.Config.Fingerprint(), j.Spec.Fingerprint(), scale)
 }
 
-// run performs the simulation. The config is cloned so concurrent jobs
-// sharing one *Config can never observe each other through it.
-func (j Job) run() (*core.Result, error) {
+// run performs the simulation under the given bounds. The config is cloned
+// so concurrent jobs sharing one *Config can never observe each other
+// through it.
+func (j Job) run(opts core.RunOptions) (*core.Result, error) {
 	spec := j.Spec
 	if j.Scale > 0 && j.Scale != 1 {
 		spec = spec.Scaled(j.Scale)
@@ -58,17 +63,91 @@ func (j Job) run() (*core.Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return m.Run(spec)
+	return m.RunWith(spec, opts)
 }
 
-// Runner executes job lists. The zero value runs with GOMAXPROCS workers and
-// no memoization.
+// PanicError is a panic recovered from a simulation job, carrying the
+// panicking goroutine's stack. A panic is a deterministic property of its
+// (config, workload, fault) key, so PanicErrors memoize like any other
+// error.
+type PanicError struct {
+	// Value is the value the job panicked with.
+	Value interface{}
+	// Stack is the panicking goroutine's stack trace.
+	Stack string
+}
+
+// Error renders the panic value; the stack is kept out of the one-liner and
+// available on the struct.
+func (e *PanicError) Error() string { return fmt.Sprintf("panic: %v", e.Value) }
+
+// JobError is one failed job: the job's identity plus the underlying error
+// (which may be a *PanicError or a *core.SimError).
+type JobError struct {
+	// Index is the job's position in the Run job list.
+	Index int
+	// Workload and Config name the failing job.
+	Workload, Config string
+	// Err is the underlying failure.
+	Err error
+}
+
+// Error names the failing job the way the runner always has: "workload on
+// config: cause".
+func (e *JobError) Error() string {
+	return fmt.Sprintf("%s on %s: %v", e.Workload, e.Config, e.Err)
+}
+
+// Unwrap exposes the underlying failure to errors.Is/As.
+func (e *JobError) Unwrap() error { return e.Err }
+
+// JobErrors aggregates every failed job of one Run call, ordered by job
+// index.
+type JobErrors []*JobError
+
+// Error summarizes: the lowest-indexed failure, plus a count when there are
+// more.
+func (es JobErrors) Error() string {
+	if len(es) == 0 {
+		return "runner: no job errors"
+	}
+	if len(es) == 1 {
+		return es[0].Error()
+	}
+	return fmt.Sprintf("%s (and %d more failed jobs)", es[0].Error(), len(es)-1)
+}
+
+// Unwrap exposes the individual job errors to errors.Is/As.
+func (es JobErrors) Unwrap() []error {
+	out := make([]error, len(es))
+	for i, e := range es {
+		out[i] = e
+	}
+	return out
+}
+
+// Runner executes job lists. The zero value runs with GOMAXPROCS workers,
+// no memoization, no bounds, and collect-errors semantics.
 type Runner struct {
 	// Workers is the goroutine pool size; <= 0 means runtime.GOMAXPROCS(0).
 	// Workers == 1 is strictly sequential.
 	Workers int
 	// Cache, when non-nil, memoizes results across Run calls.
 	Cache *Cache
+	// FailFast stops claiming new jobs after the first failure. When false
+	// (the default), every job runs and Run returns partial results plus a
+	// JobErrors aggregate — one pathological cell degrades to an error
+	// instead of aborting the sweep.
+	FailFast bool
+	// Limits bounds every job (budgets, wall deadline, context); the zero
+	// value imposes none. Event/cycle budgets participate in the cache key;
+	// wall-clock and cancellation failures are never memoized.
+	Limits core.RunOptions
+	// Fault is a deterministic fault-injection plan applied to the jobs it
+	// matches (see faultinject.Plan.Matches); the zero value injects
+	// nothing. Faulted jobs get their own cache keys, so injected failures
+	// never contaminate unfaulted results.
+	Fault faultinject.Plan
 }
 
 func (r *Runner) workers() int {
@@ -78,9 +157,11 @@ func (r *Runner) workers() int {
 	return runtime.GOMAXPROCS(0)
 }
 
-// Run executes the jobs and returns results in job order. On failure it
-// returns the error of the lowest-indexed failing job, annotated with the
-// workload and config names; remaining unstarted jobs are abandoned.
+// Run executes the jobs and returns results in job order. A failing job
+// leaves a nil slot in the results and contributes a *JobError to the
+// returned JobErrors aggregate; every other slot is still filled unless
+// FailFast cut the run short. A panic in any job (or any subsystem under
+// it) is recovered into the job's error — it fails that job only.
 func (r *Runner) Run(jobs []Job) ([]*core.Result, error) {
 	results := make([]*core.Result, len(jobs))
 	errs := make([]error, len(jobs))
@@ -99,51 +180,100 @@ func (r *Runner) Run(jobs []Job) ([]*core.Result, error) {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
-				if i >= len(jobs) || failed.Load() {
+				if i >= len(jobs) || (r.FailFast && failed.Load()) {
 					return
 				}
 				res, err := r.runJob(jobs[i])
 				if err != nil {
 					errs[i] = err
 					failed.Store(true)
-					return
+					continue
 				}
 				results[i] = res
 			}
 		}()
 	}
 	wg.Wait()
+	var jerrs JobErrors
 	for i, err := range errs {
 		if err != nil {
-			return nil, fmt.Errorf("%s on %s: %w", jobs[i].Spec.Name, jobs[i].Config.Name, err)
+			jerrs = append(jerrs, &JobError{
+				Index:    i,
+				Workload: jobs[i].Spec.Name,
+				Config:   jobs[i].Config.Name,
+				Err:      err,
+			})
 		}
+	}
+	if len(jerrs) > 0 {
+		return results, jerrs
 	}
 	return results, nil
 }
 
-func (r *Runner) runJob(j Job) (*core.Result, error) {
-	if r.Cache == nil {
-		return j.run()
+// opts returns the bounds for one job: the shared limits, plus the fault
+// plan when it matches the job's workload.
+func (r *Runner) opts(j Job) core.RunOptions {
+	opts := r.Limits
+	if r.Fault.Matches(j.Spec.Name) {
+		opts.Fault = r.Fault
 	}
-	return r.Cache.do(j.key(), j.run)
+	return opts
+}
+
+// jobKey extends the memoization key with whatever bounds change the
+// outcome deterministically: event/cycle budgets and a matching fault plan.
+// Wall deadlines and contexts are excluded — their failures depend on wall
+// time, so they are transient and never memoized (see Cache.do).
+func (r *Runner) jobKey(j Job) string {
+	k := j.key()
+	if r.Limits.MaxEvents > 0 || r.Limits.MaxCycles > 0 {
+		k = fmt.Sprintf("%s|me%d|mc%d", k, r.Limits.MaxEvents, r.Limits.MaxCycles)
+	}
+	if r.Fault.Matches(j.Spec.Name) {
+		k += "|fault:" + r.Fault.String()
+	}
+	return k
+}
+
+// safeRun executes the job with panic containment: a panic from any
+// subsystem under the run is recovered into a *PanicError instead of
+// killing the worker (and with it the whole sweep).
+func safeRun(j Job, opts core.RunOptions) (res *core.Result, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = &PanicError{Value: p, Stack: string(debug.Stack())}
+		}
+	}()
+	return j.run(opts)
+}
+
+func (r *Runner) runJob(j Job) (*core.Result, error) {
+	opts := r.opts(j)
+	run := func() (*core.Result, error) { return safeRun(j, opts) }
+	if r.Cache == nil {
+		return run()
+	}
+	return r.Cache.do(r.jobKey(j), run)
 }
 
 // RunSuite executes the given workloads on one configuration and returns
-// results keyed by workload name.
+// results keyed by workload name. Failed jobs are absent from the map and
+// reported through the returned JobErrors, so callers in collect-errors
+// mode can render the holes instead of aborting.
 func (r *Runner) RunSuite(cfg *config.Config, specs []*workload.Spec, scale float64) (map[string]*core.Result, error) {
 	jobs := make([]Job, len(specs))
 	for i, s := range specs {
 		jobs[i] = Job{Config: cfg, Spec: s, Scale: scale}
 	}
 	results, err := r.Run(jobs)
-	if err != nil {
-		return nil, err
-	}
 	out := make(map[string]*core.Result, len(specs))
 	for i, s := range specs {
-		out[s.Name] = results[i]
+		if results[i] != nil {
+			out[s.Name] = results[i]
+		}
 	}
-	return out, nil
+	return out, err
 }
 
 // Stats reports cache effectiveness.
@@ -181,8 +311,14 @@ func NewCache() *Cache {
 }
 
 // do returns the memoized result for key, running fn at most once per key.
-// Errors are memoized too: a config that fails validation fails the same way
-// on every retry, so re-running it buys nothing.
+// Deterministic errors are memoized too: a config that fails validation (or
+// deterministically panics, or exhausts an event budget) fails the same way
+// on every retry, so re-running it buys nothing. Transient errors — wall
+// deadlines and cancellations, whose outcome depends on wall time rather
+// than the key — are returned to the requests that coalesced onto them but
+// evicted immediately, so a later retry gets a fresh simulation instead of
+// a poisoned entry. fn must not panic; the runner's safeRun wrapper
+// guarantees this.
 func (c *Cache) do(key string, fn func() (*core.Result, error)) (*core.Result, error) {
 	c.mu.Lock()
 	e, ok := c.entries[key]
@@ -198,10 +334,33 @@ func (c *Cache) do(key string, fn func() (*core.Result, error)) (*core.Result, e
 	}
 	e.once.Do(func() { e.res, e.err = fn() })
 	if e.err != nil {
+		if isTransient(e.err) {
+			c.mu.Lock()
+			// Pointer comparison: only evict this entry, never a fresh
+			// replacement another goroutine already installed.
+			if c.entries[key] == e {
+				delete(c.entries, key)
+			}
+			c.mu.Unlock()
+		}
 		return nil, e.err
 	}
 	out := *e.res
 	return &out, nil
+}
+
+// isTransient reports whether err depends on wall time rather than on the
+// simulation key: wall-deadline trips and context cancellations can succeed
+// on retry, so memoizing them would poison the cache.
+func isTransient(err error) bool {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return true
+	}
+	var se *core.SimError
+	if errors.As(err, &se) {
+		return se.Kind == core.KindCanceled || se.Kind == core.KindWallDeadline
+	}
+	return false
 }
 
 // Stats returns a snapshot of cache effectiveness counters.

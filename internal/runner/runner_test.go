@@ -5,8 +5,11 @@ import (
 	"reflect"
 	"strings"
 	"testing"
+	"time"
 
 	"mcmgpu/internal/config"
+	"mcmgpu/internal/core"
+	"mcmgpu/internal/faultinject"
 	"mcmgpu/internal/workload"
 )
 
@@ -17,7 +20,7 @@ func testJobs(t *testing.T) []Job {
 		mustSpec(t, "CFD"), mustSpec(t, "GEMM"), mustSpec(t, "NW"),
 	}
 	cfgs := []*config.Config{
-		config.BaselineMCM(), config.OptimizedMCM(), config.Monolithic(64),
+		config.BaselineMCM(), config.OptimizedMCM(), config.MustMonolithic(64),
 	}
 	var jobs []Job
 	for _, c := range cfgs {
@@ -154,8 +157,9 @@ func TestDuplicateJobsSingleFlight(t *testing.T) {
 	}
 }
 
-// TestErrorPropagation asserts one failing job surfaces the lowest-indexed
-// error, annotated with workload and config names, for any worker count.
+// TestErrorPropagation asserts one failing job surfaces a JobErrors
+// aggregate naming the failing job, while every other job still returns its
+// result (the collect-errors default), for any worker count.
 func TestErrorPropagation(t *testing.T) {
 	spec := mustSpec(t, "CFD")
 	bad := config.BaselineMCM()
@@ -169,12 +173,45 @@ func TestErrorPropagation(t *testing.T) {
 		if err == nil {
 			t.Fatalf("workers=%d: failing job did not surface an error", workers)
 		}
-		if res != nil {
-			t.Fatalf("workers=%d: results returned alongside error", workers)
-		}
 		if !strings.Contains(err.Error(), "CFD on bad-config") {
 			t.Fatalf("workers=%d: error %q does not name the failing job", workers, err)
 		}
+		var jerrs JobErrors
+		if !errors.As(err, &jerrs) {
+			t.Fatalf("workers=%d: error %T is not JobErrors", workers, err)
+		}
+		if len(jerrs) != 1 || jerrs[0].Index != 4 {
+			t.Fatalf("workers=%d: JobErrors = %v, want exactly job 4", workers, jerrs)
+		}
+		for i := range jobs {
+			if i == 4 {
+				if res[i] != nil {
+					t.Fatalf("workers=%d: failed job %d has a result", workers, i)
+				}
+				continue
+			}
+			if res[i] == nil {
+				t.Fatalf("workers=%d: healthy job %d lost its result to an unrelated failure", workers, i)
+			}
+		}
+	}
+}
+
+// TestFailFastStopsEarly asserts FailFast mode still returns an error naming
+// the failing job and does not require draining the whole job list.
+func TestFailFastStopsEarly(t *testing.T) {
+	spec := mustSpec(t, "CFD")
+	bad := config.BaselineMCM()
+	bad.Name = "bad-config"
+	bad.Modules = 0
+	jobs := append([]Job{{Config: bad, Spec: spec, Scale: 0.05}}, testJobs(t)...)
+	r := &Runner{Workers: 1, FailFast: true}
+	_, err := r.Run(jobs)
+	if err == nil {
+		t.Fatal("FailFast run with a failing job returned nil error")
+	}
+	if !strings.Contains(err.Error(), "CFD on bad-config") {
+		t.Fatalf("error %q does not name the failing job", err)
 	}
 }
 
@@ -197,6 +234,110 @@ func TestErrorsAreMemoized(t *testing.T) {
 	}
 	if s := cache.Stats(); s.Misses != 1 || s.Hits != 1 {
 		t.Fatalf("stats = %+v, want the failure simulated once and memoized", s)
+	}
+}
+
+// TestPanicContainment is the acceptance test for panic recovery: an
+// injected panic in one worker's job fails only that job — every other job
+// still returns its result — and the error carries the panic value and a
+// stack trace.
+func TestPanicContainment(t *testing.T) {
+	jobs := testJobs(t) // 3 configs x {CFD, GEMM, NW}
+	for _, workers := range []int{1, 4} {
+		r := &Runner{
+			Workers: workers,
+			Fault:   faultinject.Plan{Kind: faultinject.Panic, AtEvent: 100, Workload: "GEMM"},
+		}
+		res, err := r.Run(jobs)
+		if err == nil {
+			t.Fatalf("workers=%d: injected panics surfaced no error", workers)
+		}
+		var jerrs JobErrors
+		if !errors.As(err, &jerrs) {
+			t.Fatalf("workers=%d: error %T is not JobErrors", workers, err)
+		}
+		if len(jerrs) != 3 { // GEMM on each of the 3 configs
+			t.Fatalf("workers=%d: %d failed jobs, want the 3 GEMM runs: %v", workers, len(jerrs), jerrs)
+		}
+		for _, je := range jerrs {
+			if je.Workload != "GEMM" {
+				t.Errorf("workers=%d: job %q failed; only GEMM carries the fault", workers, je.Workload)
+			}
+			var pe *PanicError
+			if !errors.As(je, &pe) {
+				t.Fatalf("workers=%d: %v does not unwrap to a *PanicError", workers, je)
+			}
+			if _, ok := pe.Value.(faultinject.Injected); !ok {
+				t.Errorf("workers=%d: panic value %T, want faultinject.Injected", workers, pe.Value)
+			}
+			if !strings.Contains(pe.Stack, "safeRun") {
+				t.Errorf("workers=%d: PanicError stack does not show the recovery site", workers)
+			}
+		}
+		for i, j := range jobs {
+			if j.Spec.Name == "GEMM" {
+				if res[i] != nil {
+					t.Errorf("workers=%d: panicked job %d has a result", workers, i)
+				}
+			} else if res[i] == nil {
+				t.Errorf("workers=%d: healthy job %d (%s) lost its result to another job's panic",
+					workers, i, j.Spec.Name)
+			}
+		}
+	}
+}
+
+// TestTransientErrorsNotMemoized asserts a wall-deadline failure is evicted
+// from the cache, so a later run without the deadline simulates fresh
+// instead of replaying the stale failure.
+func TestTransientErrorsNotMemoized(t *testing.T) {
+	spec := mustSpec(t, "CFD")
+	cfg := config.BaselineMCM()
+	cache := NewCache()
+	expired := &Runner{Workers: 1, Cache: cache,
+		Limits: core.RunOptions{WallDeadline: time.Now().Add(-time.Second), CheckEvery: 64}}
+	if _, err := expired.Run([]Job{{Config: cfg, Spec: spec, Scale: 0.05}}); err == nil {
+		t.Fatal("expired deadline did not fail the job")
+	}
+	if s := cache.Stats(); s.Entries != 0 {
+		t.Fatalf("transient failure left %d cache entries, want eviction", s.Entries)
+	}
+	fresh := &Runner{Workers: 1, Cache: cache}
+	res, err := fresh.Run([]Job{{Config: cfg, Spec: spec, Scale: 0.05}})
+	if err != nil {
+		t.Fatalf("retry after transient failure: %v", err)
+	}
+	if res[0] == nil || res[0].Cycles == 0 {
+		t.Fatal("retry after transient failure produced no result")
+	}
+}
+
+// TestBudgetErrorsMemoizedSeparately asserts a deterministic budget failure
+// memoizes under its own key: the failure is not re-simulated, and the
+// unbounded run of the same job is untouched by it.
+func TestBudgetErrorsMemoizedSeparately(t *testing.T) {
+	spec := mustSpec(t, "CFD")
+	cfg := config.BaselineMCM()
+	cache := NewCache()
+	bounded := &Runner{Workers: 1, Cache: cache,
+		Limits: core.RunOptions{MaxEvents: 1000, CheckEvery: 64}}
+	for i := 0; i < 2; i++ {
+		_, err := bounded.Run([]Job{{Config: cfg, Spec: spec, Scale: 0.05}})
+		var se *core.SimError
+		if !errors.As(err, &se) || se.Kind != core.KindMaxEvents {
+			t.Fatalf("run %d: error %v, want a max-events SimError", i, err)
+		}
+	}
+	if s := cache.Stats(); s.Misses != 1 || s.Hits != 1 {
+		t.Fatalf("stats = %+v, want the budget failure simulated once and memoized", cache.Stats())
+	}
+	free := &Runner{Workers: 1, Cache: cache}
+	res, err := free.Run([]Job{{Config: cfg, Spec: spec, Scale: 0.05}})
+	if err != nil {
+		t.Fatalf("unbounded run poisoned by bounded key: %v", err)
+	}
+	if res[0] == nil {
+		t.Fatal("unbounded run returned no result")
 	}
 }
 

@@ -66,20 +66,22 @@ func Mean(xs []float64) float64 {
 }
 
 // GeoMean returns the geometric mean of xs, or 0 for an empty slice.
-// All inputs must be positive; non-positive values make a geometric mean
-// meaningless, so they are rejected with a panic to surface harness bugs.
-func GeoMean(xs []float64) float64 {
+// All inputs must be positive; a geometric mean over non-positive values is
+// meaningless. Such values used to panic mid-report, killing a whole
+// experiment run over one degenerate cell; they now return a descriptive
+// error for the caller to render (see report.Cell).
+func GeoMean(xs []float64) (float64, error) {
 	if len(xs) == 0 {
-		return 0
+		return 0, nil
 	}
 	var s float64
-	for _, x := range xs {
+	for i, x := range xs {
 		if x <= 0 {
-			panic(fmt.Sprintf("stats: GeoMean of non-positive value %v", x))
+			return 0, fmt.Errorf("stats: GeoMean of non-positive value %v (element %d of %d)", x, i, len(xs))
 		}
 		s += math.Log(x)
 	}
-	return math.Exp(s / float64(len(xs)))
+	return math.Exp(s / float64(len(xs))), nil
 }
 
 // Min returns the smallest element of xs, or 0 for an empty slice.
@@ -144,8 +146,9 @@ func (g *Group) Names() []string { return g.names }
 // Mean returns the arithmetic mean of the samples.
 func (g *Group) Mean() float64 { return Mean(g.values) }
 
-// GeoMean returns the geometric mean of the samples.
-func (g *Group) GeoMean() float64 { return GeoMean(g.values) }
+// GeoMean returns the geometric mean of the samples, erroring on
+// non-positive samples exactly as the package-level GeoMean does.
+func (g *Group) GeoMean() (float64, error) { return GeoMean(g.values) }
 
 // String renders the group as "name=value" pairs for debugging.
 func (g *Group) String() string {

@@ -48,22 +48,25 @@ func TestMean(t *testing.T) {
 }
 
 func TestGeoMean(t *testing.T) {
-	if got := GeoMean(nil); got != 0 {
-		t.Fatalf("GeoMean(nil) = %v", got)
+	got, err := GeoMean(nil)
+	if err != nil || got != 0 {
+		t.Fatalf("GeoMean(nil) = %v, %v", got, err)
 	}
-	got := GeoMean([]float64{2, 8})
+	got, err = GeoMean([]float64{2, 8})
+	if err != nil {
+		t.Fatalf("GeoMean(2,8): %v", err)
+	}
 	if math.Abs(got-4) > 1e-12 {
 		t.Fatalf("GeoMean(2,8) = %v, want 4", got)
 	}
 }
 
 func TestGeoMeanRejectsNonPositive(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatalf("GeoMean of 0 did not panic")
+	for _, xs := range [][]float64{{1, 0}, {-2}, {3, 4, -1}} {
+		if got, err := GeoMean(xs); err == nil {
+			t.Errorf("GeoMean(%v) = %v, want error", xs, got)
 		}
-	}()
-	GeoMean([]float64{1, 0})
+	}
 }
 
 func TestMinMax(t *testing.T) {
@@ -100,8 +103,12 @@ func TestGroup(t *testing.T) {
 	if g.Mean() != 5 {
 		t.Fatalf("Mean = %v", g.Mean())
 	}
-	if math.Abs(g.GeoMean()-4) > 1e-12 {
-		t.Fatalf("GeoMean = %v", g.GeoMean())
+	gm, err := g.GeoMean()
+	if err != nil {
+		t.Fatalf("GeoMean: %v", err)
+	}
+	if math.Abs(gm-4) > 1e-12 {
+		t.Fatalf("GeoMean = %v", gm)
 	}
 	if s := g.String(); s != "a=2.000 b=8.000" {
 		t.Fatalf("String = %q", s)
@@ -119,8 +126,8 @@ func TestGeoMeanBoundsProperty(t *testing.T) {
 		if len(xs) == 0 {
 			return true
 		}
-		gm := GeoMean(xs)
-		return gm >= Min(xs)-1e-9 && gm <= Max(xs)+1e-9 && gm <= Mean(xs)+1e-9
+		gm, err := GeoMean(xs)
+		return err == nil && gm >= Min(xs)-1e-9 && gm <= Max(xs)+1e-9 && gm <= Mean(xs)+1e-9
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Fatal(err)

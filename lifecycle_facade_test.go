@@ -1,0 +1,108 @@
+package mcmgpu
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"mcmgpu/internal/faultinject"
+	"mcmgpu/internal/report"
+)
+
+// faultedOpts arms a panic fault against the first workload of the quick
+// suite, bypassing the shared cache so the injected failure cannot leak into
+// other tests.
+func faultedOpts(t *testing.T) (Options, *[]string) {
+	t.Helper()
+	o := quick()
+	o.NoCache = true
+	victim := o.suite()[0].Name
+	o.Fault = faultinject.Plan{Kind: faultinject.Panic, AtEvent: 100, Workload: victim}
+	var warnings []string
+	o.Warnf = func(format string, args ...interface{}) {
+		warnings = append(warnings, fmt.Sprintf(format, args...))
+	}
+	return o, &warnings
+}
+
+// TestKeepGoingRendersERRCells is the facade acceptance test for collect-
+// errors mode: with a panic injected into one workload, a figure driver
+// still renders its table, the failed cells show ERR, and each failure is
+// reported through Warnf.
+func TestKeepGoingRendersERRCells(t *testing.T) {
+	o, warnings := faultedOpts(t)
+	o.KeepGoing = true
+	tbl, err := Fig9(o)
+	if err != nil {
+		t.Fatalf("KeepGoing driver aborted: %v", err)
+	}
+	if !strings.Contains(tbl.String(), report.ErrCell) {
+		t.Fatalf("table shows no %s cell despite an injected failure:\n%s", report.ErrCell, tbl)
+	}
+	if len(*warnings) == 0 {
+		t.Fatal("no warnings surfaced for the failed cells")
+	}
+	found := false
+	for _, w := range *warnings {
+		if strings.Contains(w, "cell failed") && strings.Contains(w, o.Fault.Workload) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("warnings %q do not name the faulted workload %q", *warnings, o.Fault.Workload)
+	}
+}
+
+// TestFailFastAbortsExperiment asserts the default mode still fails the
+// whole driver on an injected panic, with the error naming the job.
+func TestFailFastAbortsExperiment(t *testing.T) {
+	o, _ := faultedOpts(t)
+	_, err := Fig9(o)
+	if err == nil {
+		t.Fatal("fail-fast driver returned a table despite an injected panic")
+	}
+	var jerrs JobErrors
+	if !errors.As(err, &jerrs) {
+		t.Fatalf("driver error %T is not JobErrors", err)
+	}
+	if !strings.Contains(err.Error(), o.Fault.Workload) {
+		t.Fatalf("error %q does not name the faulted workload", err)
+	}
+}
+
+// TestBoundedExperimentIsByteIdentical asserts untripped budgets leave a
+// driver's rendered table byte-identical — the acceptance criterion that
+// lets CI run every experiment under a safety net without perturbing the
+// paper's numbers.
+func TestBoundedExperimentIsByteIdentical(t *testing.T) {
+	free := quick()
+	free.NoCache = true
+	want, err := Fig4(free)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bounded := quick()
+	bounded.NoCache = true
+	bounded.MaxEvents = 1 << 62
+	bounded.MaxCycles = 1 << 62
+	got, err := Fig4(bounded)
+	if err != nil {
+		t.Fatalf("generously bounded experiment tripped: %v", err)
+	}
+	if want.String() != got.String() {
+		t.Errorf("bounded table differs from unbounded:\n--- unbounded ---\n%s\n--- bounded ---\n%s", want, got)
+	}
+}
+
+// TestRunWithFacade exercises the public bounded-run entry point.
+func TestRunWithFacade(t *testing.T) {
+	_, err := RunWith(BaselineMCM(), MustWorkload("CFD"), RunOptions{MaxEvents: 1000, CheckEvery: 64})
+	var se *SimError
+	if !errors.As(err, &se) {
+		t.Fatalf("RunWith error %v is not a *SimError", err)
+	}
+	if se.Kind.String() != "max-events" {
+		t.Fatalf("kind = %s, want max-events", se.Kind)
+	}
+}

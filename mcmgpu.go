@@ -15,9 +15,12 @@
 package mcmgpu
 
 import (
+	"errors"
+
 	"mcmgpu/internal/analytic"
 	"mcmgpu/internal/config"
 	"mcmgpu/internal/core"
+	"mcmgpu/internal/faultinject"
 	"mcmgpu/internal/report"
 	"mcmgpu/internal/runner"
 	"mcmgpu/internal/workload"
@@ -36,6 +39,18 @@ type (
 	Table = report.Table
 	// AnalyticModel is the Section 3.3.1 closed-form bandwidth model.
 	AnalyticModel = analytic.Model
+	// RunOptions bounds one run: context, event/cycle budgets, wall
+	// deadline, fault plan. The zero value imposes no limits.
+	RunOptions = core.RunOptions
+	// SimError reports a run terminated by a budget, deadline, or
+	// cancellation, with a diagnosis snapshot of the machine.
+	SimError = core.SimError
+	// JobError is one failed simulation job (its key plus the cause).
+	JobError = runner.JobError
+	// JobErrors aggregates every failed job of a batch.
+	JobErrors = runner.JobErrors
+	// FaultPlan is a deterministic fault-injection plan (tests, CI smoke).
+	FaultPlan = faultinject.Plan
 )
 
 // Workload categories, re-exported.
@@ -77,8 +92,11 @@ var (
 	OptimizedMCM16 = config.OptimizedMCM16
 	// MCMWithLink is the baseline with a custom inter-GPM link bandwidth.
 	MCMWithLink = config.MCMWithLink
-	// Monolithic is a single-die GPU with the given SM count.
+	// Monolithic is a single-die GPU with the given SM count; counts that
+	// are not positive multiples of 32 return an error.
 	Monolithic = config.Monolithic
+	// MustMonolithic is Monolithic for known-good literal SM counts.
+	MustMonolithic = config.MustMonolithic
 	// LargestBuildableMonolithic is the 128-SM buildability limit.
 	LargestBuildableMonolithic = config.LargestBuildableMonolithic
 	// UnbuildableMonolithic is the hypothetical 256-SM single die.
@@ -115,11 +133,19 @@ func MustWorkload(name string) *Spec {
 
 // Run executes one workload on a fresh machine built from cfg.
 func Run(cfg *Config, spec *Spec) (*Result, error) {
+	return RunWith(cfg, spec, RunOptions{})
+}
+
+// RunWith executes one workload on a fresh machine built from cfg, bounded
+// by opts: the run additionally terminates with a *SimError when an event or
+// cycle budget is exhausted, the wall deadline passes, or the context is
+// canceled. The zero RunOptions is exactly Run.
+func RunWith(cfg *Config, spec *Spec, opts RunOptions) (*Result, error) {
 	m, err := core.New(cfg)
 	if err != nil {
 		return nil, err
 	}
-	return m.Run(spec)
+	return m.RunWith(spec, opts)
 }
 
 // RunScaled is Run with the workload's per-warp work and footprint scaled
@@ -157,9 +183,20 @@ func ResetRunCache() { runner.Shared().Reset() }
 type resultSet map[string]*core.Result
 
 // runner builds the executor an Options value asks for: o.Workers-wide
-// parallelism over the process-wide memo cache unless o.NoCache opts out.
+// parallelism over the process-wide memo cache unless o.NoCache opts out,
+// bounded by the Options budgets, in fail-fast or collect-errors mode per
+// o.KeepGoing.
 func (o Options) runner() *runner.Runner {
-	r := &runner.Runner{Workers: o.Workers}
+	r := &runner.Runner{
+		Workers:  o.Workers,
+		FailFast: !o.KeepGoing,
+		Limits: RunOptions{
+			MaxEvents:    o.MaxEvents,
+			MaxCycles:    o.MaxCycles,
+			WallDeadline: o.Deadline,
+		},
+		Fault: o.Fault,
+	}
 	if !o.NoCache {
 		r.Cache = runner.Shared()
 	}
@@ -170,10 +207,34 @@ func (o Options) runner() *runner.Runner {
 // workload name. Jobs fan out across o.Workers goroutines; because each
 // Machine is deterministic and results are assembled by job index, the
 // output is identical for any worker count.
+//
+// In KeepGoing mode failed jobs are reported through Warnf and simply left
+// out of the returned set — drivers render the holes as ERR cells. In
+// fail-fast mode (the default) the first failure aborts the experiment.
+// Either way, results whose engine had to clamp scheduled-in-the-past
+// events are surfaced as warnings: a non-zero ClampedEvents count that
+// grows with the event count means a causality bug is hiding behind the
+// clamp.
 func (o Options) runSuite(cfg *Config, specs []*Spec) (resultSet, error) {
 	out, err := o.runner().RunSuite(cfg, specs, o.scale())
 	if err != nil {
-		return nil, err
+		if !o.KeepGoing {
+			return nil, err
+		}
+		var jerrs JobErrors
+		if errors.As(err, &jerrs) {
+			for _, je := range jerrs {
+				o.warnf("cell failed: %v", je)
+			}
+		} else {
+			return nil, err
+		}
+	}
+	for _, s := range specs {
+		if r, ok := out[s.Name]; ok && r.ClampedEvents > 0 {
+			o.warnf("clamped events: %s on %s clamped %d event(s) to the current cycle",
+				s.Name, cfg.Name, r.ClampedEvents)
+		}
 	}
 	return resultSet(out), nil
 }
