@@ -72,6 +72,7 @@ func main() {
 		list      = flag.Bool("list", false, "list experiment ids")
 		timeout   = flag.Duration("timeout", 0, "wall-clock budget for the whole invocation (0 = none)")
 		maxEvents = flag.Uint64("max-events", 0, "per-simulation event budget (0 = none)")
+		auditOn   = flag.Bool("audit", false, "check simulation invariants (conservation laws) during every job; MCMGPU_AUDIT=1 forces this on")
 		keepGoing = flag.Bool("keep-going", false, "render failed cells as ERR instead of aborting; exit 1 at the end if any failed")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf   = flag.String("memprofile", "", "write an allocation profile to this file on exit")
@@ -114,6 +115,7 @@ func main() {
 		Workers:        *jobs,
 		NoCache:        *nocache,
 		MaxEvents:      *maxEvents,
+		Audit:          *auditOn,
 		KeepGoing:      *keepGoing,
 		Fault:          fault,
 	}

@@ -57,6 +57,7 @@ func main() {
 		timeout   = flag.Duration("timeout", 0, "wall-clock budget for the whole invocation (0 = none)")
 		maxEvents = flag.Uint64("max-events", 0, "per-run event budget (0 = none)")
 		maxCycles = flag.Uint64("max-cycles", 0, "per-run simulated-cycle budget (0 = none)")
+		auditOn   = flag.Bool("audit", false, "check simulation invariants (conservation laws) during every run; MCMGPU_AUDIT=1 forces this on")
 		keepGoing = flag.Bool("keep-going", false, "continue to the next workload after a failed run; exit 1 at the end")
 	)
 	flag.Parse()
@@ -136,7 +137,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "mcmsim:", err)
 		os.Exit(1)
 	}
-	ropts := core.RunOptions{MaxEvents: *maxEvents, MaxCycles: *maxCycles}
+	ropts := core.RunOptions{MaxEvents: *maxEvents, MaxCycles: *maxCycles, Audit: *auditOn}
 	if *timeout > 0 {
 		ropts.WallDeadline = time.Now().Add(*timeout)
 	}

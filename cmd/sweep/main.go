@@ -48,6 +48,7 @@ func main() {
 		csvOut    = flag.String("csv", "", "write CSV to this file instead of stdout")
 		timeout   = flag.Duration("timeout", 0, "wall-clock budget for the whole sweep (0 = none)")
 		maxEvents = flag.Uint64("max-events", 0, "per-simulation event budget (0 = none)")
+		auditOn   = flag.Bool("audit", false, "check simulation invariants (conservation laws) during every job; MCMGPU_AUDIT=1 forces this on")
 		keepGoing = flag.Bool("keep-going", false, "render failed grid cells as ERR instead of aborting; exit 1 at the end if any failed")
 	)
 	flag.Parse()
@@ -104,7 +105,7 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	limits := core.RunOptions{MaxEvents: *maxEvents}
+	limits := core.RunOptions{MaxEvents: *maxEvents, Audit: *auditOn}
 	if *timeout > 0 {
 		limits.WallDeadline = time.Now().Add(*timeout)
 	}

@@ -48,6 +48,13 @@ type Options struct {
 	// Fault is a deterministic fault-injection plan applied to matching
 	// jobs; the zero value injects nothing. CLIs arm it from MCMGPU_FAULT.
 	Fault faultinject.Plan
+	// Audit enables the invariant auditor on every job: conservation laws
+	// are checked at kernel boundaries (and periodically) and a violation
+	// fails the job with a *SimError wrapping the structured violations.
+	// Auditing only observes, so audited tables are byte-identical to
+	// unaudited ones. CLIs arm it from -audit; MCMGPU_AUDIT=1 forces it on
+	// regardless of this field.
+	Audit bool
 	// Warnf, when non-nil, receives diagnostics that must not pollute the
 	// table output: failed cells in KeepGoing mode and non-zero
 	// ClampedEvents counts. The CLIs route it to stderr.

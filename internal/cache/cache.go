@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"math/bits"
 
+	"mcmgpu/internal/audit"
 	"mcmgpu/internal/stats"
 )
 
@@ -255,11 +256,74 @@ func (c *Cache) Accesses() uint64 { return c.reads.Total + c.writes.Total }
 // Hits returns the total number of hits across reads and writes.
 func (c *Cache) Hits() uint64 { return c.reads.Hits + c.writes.Hits }
 
+// ReadAccesses returns the number of read Access calls. The per-direction
+// accessors exist for the invariant auditor: access-flow conservation
+// (misses leaving one level = demand entering the next) holds separately
+// for reads and writes, and combining them would let a read undercount hide
+// behind a write overcount.
+func (c *Cache) ReadAccesses() uint64 { return c.reads.Total }
+
+// ReadHits returns the number of read hits.
+func (c *Cache) ReadHits() uint64 { return c.reads.Hits }
+
+// WriteAccesses returns the number of write Access calls.
+func (c *Cache) WriteAccesses() uint64 { return c.writes.Total }
+
+// WriteHits returns the number of write hits.
+func (c *Cache) WriteHits() uint64 { return c.writes.Hits }
+
 // Evictions returns the number of valid lines displaced.
 func (c *Cache) Evictions() uint64 { return c.evictions.Value() }
 
 // Writebacks returns the number of dirty victims produced.
 func (c *Cache) Writebacks() uint64 { return c.writebacks.Value() }
+
+// Audit reports structural invariant violations into r: more valid lines
+// than capacity, a malformed LRU stack (a valid way behind an invalid one —
+// fill always inserts at MRU and Invalidate compacts, so valid ways form a
+// prefix of every set), duplicate tags within a set, dirty lines in a
+// write-through cache (footnote 4 of the paper: L1/L1.5 must be
+// write-through for software coherence, so a dirty line there means lost
+// coherence), and hit counters exceeding access counters.
+func (c *Cache) Audit(r *audit.Reporter) {
+	occ := 0
+	for si, s := range c.sets {
+		invalidAt := -1
+		for i := range s {
+			if s[i].flags&flagValid == 0 {
+				if invalidAt < 0 {
+					invalidAt = i
+				}
+				continue
+			}
+			occ++
+			if invalidAt >= 0 {
+				r.Reportf("cache-lru", c.name,
+					"set %d: valid line in way %d behind invalid way %d; the LRU stack must keep valid ways as a prefix", si, i, invalidAt)
+			}
+			if s[i].flags&flagDirty != 0 && !c.writeBack {
+				r.Reportf("cache-write-through", c.name,
+					"set %d way %d holds a dirty line in a write-through cache", si, i)
+			}
+			for j := 0; j < i; j++ {
+				if s[j].flags&flagValid != 0 && s[j].tag == s[i].tag {
+					r.Reportf("cache-dup-tag", c.name,
+						"set %d: tag %#x present in ways %d and %d", si, s[i].tag, j, i)
+				}
+			}
+		}
+	}
+	capacity := len(c.sets) * c.ways
+	if occ > capacity {
+		r.Reportf("cache-occupancy", c.name, "%d valid lines exceed capacity %d", occ, capacity)
+	}
+	if c.reads.Hits > c.reads.Total {
+		r.Reportf("cache-counters", c.name, "read hits %d exceed read accesses %d", c.reads.Hits, c.reads.Total)
+	}
+	if c.writes.Hits > c.writes.Total {
+		r.Reportf("cache-counters", c.name, "write hits %d exceed write accesses %d", c.writes.Hits, c.writes.Total)
+	}
+}
 
 // ResetStats clears statistics but preserves contents.
 func (c *Cache) ResetStats() {

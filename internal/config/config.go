@@ -12,6 +12,7 @@ package config
 
 import (
 	"fmt"
+	"math"
 )
 
 // AllocPolicy selects which fills a module-side (L1.5) cache accepts.
@@ -214,8 +215,18 @@ func (c *Config) TotalL15Bytes() int {
 	return c.Modules * c.L15.SizeBytes
 }
 
+// finitePositive reports whether v is a usable positive rate: NaN compares
+// false against everything (so a plain v <= 0 check lets it through), and
+// +Inf passes v > 0 but poisons every downstream timing computation.
+func finitePositive(v float64) bool {
+	return v > 0 && !math.IsInf(v, 1)
+}
+
 // Validate checks internal consistency and returns a descriptive error for
-// the first problem found.
+// the first problem found. A config that validates must be safe to hand to
+// the simulator: every panic in core/cache/noc/cta/vm construction is
+// guarded by a check here, which is what lets the config fuzzer assert
+// "Validate == nil implies New does not panic".
 func (c *Config) Validate() error {
 	switch {
 	case c.Modules <= 0:
@@ -226,22 +237,47 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("config %q: PartitionsPerModule = %d, must be positive", c.Name, c.PartitionsPerModule)
 	case c.WarpsPerSM <= 0:
 		return fmt.Errorf("config %q: WarpsPerSM = %d, must be positive", c.Name, c.WarpsPerSM)
-	case c.IssuePerSM <= 0:
-		return fmt.Errorf("config %q: IssuePerSM = %v, must be positive", c.Name, c.IssuePerSM)
-	case c.DRAMGBps <= 0:
-		return fmt.Errorf("config %q: DRAMGBps = %v, must be positive", c.Name, c.DRAMGBps)
-	case c.XbarGBps <= 0:
-		return fmt.Errorf("config %q: XbarGBps = %v, must be positive", c.Name, c.XbarGBps)
+	case !finitePositive(c.IssuePerSM):
+		return fmt.Errorf("config %q: IssuePerSM = %v, must be positive and finite", c.Name, c.IssuePerSM)
+	case !finitePositive(c.DRAMGBps):
+		return fmt.Errorf("config %q: DRAMGBps = %v, must be positive and finite", c.Name, c.DRAMGBps)
+	case !finitePositive(c.XbarGBps):
+		return fmt.Errorf("config %q: XbarGBps = %v, must be positive and finite", c.Name, c.XbarGBps)
 	case c.PageBytes <= 0:
 		return fmt.Errorf("config %q: PageBytes = %d, must be positive", c.Name, c.PageBytes)
-	case c.L2BWMult <= 0:
-		return fmt.Errorf("config %q: L2BWMult = %v, must be positive", c.Name, c.L2BWMult)
+	case !finitePositive(c.L2BWMult):
+		return fmt.Errorf("config %q: L2BWMult = %v, must be positive and finite", c.Name, c.L2BWMult)
+	}
+	if c.Topology < TopoNone || c.Topology > TopoMesh {
+		return fmt.Errorf("config %q: unknown topology %v", c.Name, c.Topology)
+	}
+	if c.Scheduler < SchedCentralized || c.Scheduler > SchedDynamic {
+		return fmt.Errorf("config %q: unknown scheduler %v", c.Name, c.Scheduler)
+	}
+	if c.Placement < PlaceInterleave || c.Placement > PlaceFirstTouch {
+		return fmt.Errorf("config %q: unknown placement policy %v", c.Name, c.Placement)
+	}
+	if c.L15Alloc < AllocAll || c.L15Alloc > AllocRemoteOnly {
+		return fmt.Errorf("config %q: unknown L1.5 allocation policy %v", c.Name, c.L15Alloc)
 	}
 	if c.Modules > 1 && c.Topology == TopoNone {
 		return fmt.Errorf("config %q: %d modules but no inter-module topology", c.Name, c.Modules)
 	}
-	if c.Modules > 1 && c.Link.GBps <= 0 {
-		return fmt.Errorf("config %q: multi-module machine needs Link.GBps > 0", c.Name)
+	if c.Modules > 1 && !finitePositive(c.Link.GBps) {
+		return fmt.Errorf("config %q: multi-module machine needs finite Link.GBps > 0, got %v", c.Name, c.Link.GBps)
+	}
+	if c.Link.ReqHeaderBytes < 0 || c.Link.RespHeaderBytes < 0 {
+		return fmt.Errorf("config %q: negative link header bytes (req %d, resp %d)",
+			c.Name, c.Link.ReqHeaderBytes, c.Link.RespHeaderBytes)
+	}
+	// The simulator instantiates L1 and L2 unconditionally (every SM has an
+	// L1, every memory partition an L2 slice); only the module-side L1.5 is
+	// optional.
+	if !c.L1.Enabled() {
+		return fmt.Errorf("config %q: L1 must be enabled (SizeBytes > 0)", c.Name)
+	}
+	if !c.L2.Enabled() {
+		return fmt.Errorf("config %q: L2 must be enabled (SizeBytes > 0)", c.Name)
 	}
 	for _, cc := range []struct {
 		name string
@@ -260,6 +296,9 @@ func (c *Config) Validate() error {
 		if lines < cc.c.Ways {
 			return fmt.Errorf("config %q: %s holds %d lines, fewer than %d ways", c.Name, cc.name, lines, cc.c.Ways)
 		}
+		if lines%cc.c.Ways != 0 {
+			return fmt.Errorf("config %q: %s holds %d lines, not divisible into %d ways", c.Name, cc.name, lines, cc.c.Ways)
+		}
 		sets := lines / cc.c.Ways
 		if sets&(sets-1) != 0 {
 			return fmt.Errorf("config %q: %s set count %d is not a power of two", c.Name, cc.name, sets)
@@ -267,6 +306,11 @@ func (c *Config) Validate() error {
 	}
 	if c.PageBytes&(c.PageBytes-1) != 0 {
 		return fmt.Errorf("config %q: PageBytes %d is not a power of two", c.Name, c.PageBytes)
+	}
+	// Address translation derives lines-per-page from the machine-wide line
+	// size; a page smaller than a line would make that zero.
+	if c.PageBytes < LineBytes {
+		return fmt.Errorf("config %q: PageBytes %d is smaller than the %d-byte line", c.Name, c.PageBytes, LineBytes)
 	}
 	return nil
 }

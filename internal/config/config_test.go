@@ -1,6 +1,7 @@
 package config
 
 import (
+	"math"
 	"strings"
 	"testing"
 )
@@ -202,6 +203,23 @@ func TestValidateCatchesErrors(t *testing.T) {
 		{func(c *Config) { c.L1.SizeBytes = 96 * KB }, "power of two"},
 		{func(c *Config) { c.PageBytes = 3000 }, "PageBytes"},
 		{func(c *Config) { c.L2BWMult = 0 }, "L2BWMult"},
+		{func(c *Config) { c.IssuePerSM = math.NaN() }, "IssuePerSM"},
+		{func(c *Config) { c.DRAMGBps = math.Inf(1) }, "DRAMGBps"},
+		{func(c *Config) { c.XbarGBps = math.NaN() }, "XbarGBps"},
+		{func(c *Config) { c.L2BWMult = math.Inf(1) }, "L2BWMult"},
+		{func(c *Config) { c.Link.GBps = math.NaN() }, "Link.GBps"},
+		{func(c *Config) { c.Topology = TopologyKind(99) }, "topology"},
+		{func(c *Config) { c.Scheduler = SchedulerKind(-1) }, "scheduler"},
+		{func(c *Config) { c.Placement = PlacementKind(7) }, "placement"},
+		{func(c *Config) { c.L15Alloc = AllocPolicy(3) }, "allocation"},
+		{func(c *Config) { c.Link.ReqHeaderBytes = -1 }, "header"},
+		{func(c *Config) { c.Link.RespHeaderBytes = -8 }, "header"},
+		{func(c *Config) { c.L1.SizeBytes = 0 }, "L1 must be enabled"},
+		{func(c *Config) { c.L2.SizeBytes = 0 }, "L2 must be enabled"},
+		// 768 B / 128 B = 6 lines: 6/4 = 1 set (a power of two) but 6 % 4 != 0,
+		// which used to slip through Validate and panic in cache.New.
+		{func(c *Config) { c.L1.SizeBytes = 768 }, "divisible"},
+		{func(c *Config) { c.PageBytes = 64 }, "smaller than"},
 	}
 	for i, tc := range cases {
 		c := BaselineMCM()

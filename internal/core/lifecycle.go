@@ -40,6 +40,14 @@ type RunOptions struct {
 	// Fault is a deterministic fault-injection plan; the zero value injects
 	// nothing. See internal/faultinject.
 	Fault faultinject.Plan
+	// Audit enables the invariant auditor: conservation laws are checked
+	// periodically and at every kernel boundary, and a violation terminates
+	// the run with a *SimError of KindInvariant wrapping the structured
+	// *audit.Violation values. Auditing only observes the simulation, so an
+	// audited run that finds no violations is byte-identical to an unaudited
+	// one. The MCMGPU_AUDIT environment variable forces auditing on
+	// regardless of this field (see internal/audit.Forced).
+	Audit bool
 }
 
 // bounded reports whether any limit, context, or fault plan is set.
@@ -68,6 +76,9 @@ const (
 	KindMaxCycles
 	// KindWallDeadline: the wall-clock deadline passed.
 	KindWallDeadline
+	// KindInvariant: the invariant auditor found a broken conservation law;
+	// Cause holds the audit.Violations.
+	KindInvariant
 )
 
 // String returns the kind's name.
@@ -81,6 +92,8 @@ func (k ErrKind) String() string {
 		return "max-cycles"
 	case KindWallDeadline:
 		return "wall-deadline"
+	case KindInvariant:
+		return "invariant"
 	}
 	return fmt.Sprintf("ErrKind(%d)", int(k))
 }
@@ -114,10 +127,15 @@ type SimError struct {
 }
 
 // Error renders a one-line diagnosis; the "sim error" prefix is stable and
-// grepped by CI's fault-injection smoke test.
+// grepped by CI's fault-injection smoke test. Invariant terminations append
+// the broken law, since for those the cause is the diagnosis.
 func (e *SimError) Error() string {
-	return fmt.Sprintf("sim error: %s on %s: %s at cycle %d (events=%d, heap=%d, liveCTAs=%d, inflight=%d)",
+	s := fmt.Sprintf("sim error: %s on %s: %s at cycle %d (events=%d, heap=%d, liveCTAs=%d, inflight=%d)",
 		e.Workload, e.Config, e.Kind, e.Clock, e.Events, e.HeapLen, e.LiveCTAs, e.InFlight)
+	if e.Kind == KindInvariant && e.Cause != nil {
+		s += ": " + e.Cause.Error()
+	}
+	return s
 }
 
 // Unwrap exposes the underlying cause (e.g. context.Canceled).
@@ -159,6 +177,8 @@ func (m *Machine) checkBudgets() error {
 			(&faultinject.Staller{Sim: m.sim, Delta: 1}).Start()
 		case faultinject.CorruptBudget:
 			m.budgetCorrupt = true
+		case faultinject.CorruptCounter:
+			m.corruptCounter(m.opts.Fault.Target)
 		}
 	}
 	if m.budgetCorrupt || (m.opts.MaxEvents > 0 && m.sim.Processed() >= m.opts.MaxEvents) {

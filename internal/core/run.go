@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"mcmgpu/internal/audit"
 	"mcmgpu/internal/cta"
 	"mcmgpu/internal/engine"
 	"mcmgpu/internal/sm"
@@ -82,9 +83,13 @@ func (m *Machine) RunWith(spec *workload.Spec, opts RunOptions) (*Result, error)
 		return nil, fmt.Errorf("core: CTA needs %d warps, SM holds %d", spec.WarpsPerCTA, m.cfg.WarpsPerSM)
 	}
 	m.spec = spec
+	m.opts = opts
 	if opts.bounded() {
-		m.opts = opts
 		m.sim.SetCheck(opts.checkEvery(), m.checkBudgets)
+	}
+	if opts.Audit || audit.Forced() {
+		m.aud = m.newAuditor()
+		m.sim.SetAudit(DefaultAuditEvery, m.periodicAudit)
 	}
 
 	for iter := 0; iter < spec.KernelIters; iter++ {
@@ -97,6 +102,15 @@ func (m *Machine) RunWith(spec *workload.Spec, opts RunOptions) (*Result, error)
 		}
 		if err := m.runKernel(); err != nil {
 			return nil, err
+		}
+		m.kernelsDone++
+		// Kernel-boundary audit: the queue has drained, so the drain
+		// invariants and end-to-end flow laws apply. Audited before the
+		// boundary flush so the caches are checked in their populated state.
+		if m.aud != nil {
+			if err := m.runAudit(audit.Boundary); err != nil {
+				return nil, err
+			}
 		}
 		m.flushKernelBoundary()
 	}

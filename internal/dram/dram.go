@@ -8,6 +8,7 @@ package dram
 import (
 	"fmt"
 
+	"mcmgpu/internal/audit"
 	"mcmgpu/internal/engine"
 )
 
@@ -64,6 +65,22 @@ func (p *Partition) WriteBytes() uint64 { return p.writeBytes }
 
 // Accesses returns the number of read and write requests served.
 func (p *Partition) Accesses() uint64 { return p.reads + p.writes }
+
+// Reads returns the number of read requests served. The per-direction
+// accessors exist for the invariant auditor, which ties reads to L2 misses
+// and writes to L2 writebacks separately.
+func (p *Partition) Reads() uint64 { return p.reads }
+
+// Writes returns the number of write requests served.
+func (p *Partition) Writes() uint64 { return p.writes }
+
+// Audit checks byte conservation into r: every byte counted by the
+// read/write counters was reserved on the device resource and vice versa,
+// so the device's reserved units must equal readBytes + writeBytes exactly.
+func (p *Partition) Audit(r *audit.Reporter) {
+	audit.Equal(r, "dram-bytes", fmt.Sprintf("dram-%d", p.id),
+		"device reserved bytes", p.res.Units(), p.readBytes+p.writeBytes)
+}
 
 // Utilization returns the fraction of elapsed cycles the device was busy.
 func (p *Partition) Utilization(elapsed engine.Cycle) float64 {

@@ -91,6 +91,11 @@ func (m *Meter) AddDRAM(n uint64) { m.dram += n }
 // Bytes returns bytes moved over the given domain.
 func (m *Meter) Bytes(d Domain) uint64 { return m.bytes[d] }
 
+// DRAMBytes returns bytes recorded at DRAM devices. The invariant auditor
+// reconciles this against the DRAM partitions' own byte counters; the energy
+// numbers of Section 6.2 are only as honest as that agreement.
+func (m *Meter) DRAMBytes() uint64 { return m.dram }
+
 // DomainPJ returns the signaling energy spent in the given domain.
 func (m *Meter) DomainPJ(d Domain) float64 {
 	return float64(m.bytes[d]) * 8 * d.PJPerBit()

@@ -122,3 +122,100 @@ func TestCheckedRunMatchesUnchecked(t *testing.T) {
 		}
 	}
 }
+
+// TestAuditStopsRun asserts the audit hook can stop Run exactly as the
+// budget check can, with the error surfaced through StopErr.
+func TestAuditStopsRun(t *testing.T) {
+	s := New()
+	for i := Cycle(0); i < 100; i++ {
+		s.At(i, func() {})
+	}
+	stop := errors.New("violation")
+	s.SetAudit(10, func() error {
+		if s.Processed() >= 50 {
+			return stop
+		}
+		return nil
+	})
+	s.Run()
+	if !errors.Is(s.StopErr(), stop) {
+		t.Fatalf("StopErr = %v, want the audit's error", s.StopErr())
+	}
+	if s.Pending() == 0 {
+		t.Fatal("stopped run drained the queue")
+	}
+}
+
+// TestAuditIntervalIndependentOfCheck asserts both hooks run at their own
+// intervals when installed together.
+func TestAuditIntervalIndependentOfCheck(t *testing.T) {
+	s := New()
+	for i := Cycle(0); i < 100; i++ {
+		s.At(i, func() {})
+	}
+	checks, audits := 0, 0
+	s.SetCheck(10, func() error { checks++; return nil })
+	s.SetAudit(25, func() error { audits++; return nil })
+	s.Run()
+	if checks != 10 || audits != 4 {
+		t.Fatalf("over 100 events: %d checks (want 10), %d audits (want 4)", checks, audits)
+	}
+	if s.StopErr() != nil {
+		t.Fatalf("untripped hooks set StopErr: %v", s.StopErr())
+	}
+}
+
+// TestAuditRemovable asserts SetAudit(0, nil) restores the unhooked path.
+func TestAuditRemovable(t *testing.T) {
+	s := New()
+	s.At(0, func() {})
+	s.SetAudit(1, func() error { return errors.New("always") })
+	s.Run()
+	if s.StopErr() == nil {
+		t.Fatal("audit did not stop the run")
+	}
+	s.SetAudit(0, nil)
+	if s.StopErr() != nil {
+		t.Fatal("removing the audit kept a stale StopErr")
+	}
+	s.At(1, func() {})
+	if s.Run() != 1 {
+		t.Fatal("unhooked run after removal did not drain")
+	}
+}
+
+// TestCheckPrecedesAudit asserts that when both hooks would trip on the same
+// event, the budget check's error wins — corrupted runs report the
+// established budget failure, not whichever invariant the corruption hit.
+func TestCheckPrecedesAudit(t *testing.T) {
+	s := New()
+	for i := Cycle(0); i < 10; i++ {
+		s.At(i, func() {})
+	}
+	budget := errors.New("budget")
+	s.SetCheck(1, func() error { return budget })
+	s.SetAudit(1, func() error { return errors.New("violation") })
+	s.Run()
+	if !errors.Is(s.StopErr(), budget) {
+		t.Fatalf("StopErr = %v, want the check's budget error", s.StopErr())
+	}
+}
+
+// TestAuditHonoredByRunUntil asserts RunUntil consults the audit hook too.
+func TestAuditHonoredByRunUntil(t *testing.T) {
+	s := New()
+	for i := Cycle(0); i < 100; i++ {
+		s.At(i, func() {})
+	}
+	stop := errors.New("violation")
+	s.SetAudit(1, func() error {
+		if s.Processed() >= 10 {
+			return stop
+		}
+		return nil
+	})
+	s.RunUntil(1000)
+	if !errors.Is(s.StopErr(), stop) {
+		t.Fatalf("RunUntil ignored the audit: StopErr = %v", s.StopErr())
+	}
+}

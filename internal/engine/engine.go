@@ -73,6 +73,14 @@ type Sim struct {
 	checkEvery uint64
 	sinceCheck uint64
 	stopErr    error
+
+	// Periodic audit state (see SetAudit): a second hook with its own
+	// interval, independent of the budget check so auditing can run at a
+	// coarser cadence than budget enforcement (invariant sweeps walk cache
+	// arrays; budget checks are a few integer compares).
+	audit      func() error
+	auditEvery uint64
+	sinceAudit uint64
 }
 
 // New returns an empty simulator positioned at cycle 0.
@@ -221,33 +229,67 @@ func (s *Sim) SetCheck(interval uint64, fn func() error) {
 	s.stopErr = nil
 }
 
-// StopErr returns the error with which the installed check stopped the most
-// recent Run/RunUntil call, or nil if the queue drained (or the limit was
-// reached) normally.
+// SetAudit installs fn as a second periodic hook, consulted every interval
+// dispatched events alongside (and after) the SetCheck hook. It obeys the
+// same contract: fn must only observe, a non-nil return stops the loop and
+// is retrievable through StopErr, and fn == nil or interval == 0 removes the
+// hook. The two hooks are independent so the invariant auditor can sweep at
+// a coarser cadence than the budget check without either perturbing the
+// other's interval arithmetic.
+func (s *Sim) SetAudit(interval uint64, fn func() error) {
+	if interval == 0 {
+		fn = nil
+	}
+	s.audit = fn
+	s.auditEvery = interval
+	s.sinceAudit = 0
+	s.stopErr = nil
+}
+
+// StopErr returns the error with which an installed hook (SetCheck or
+// SetAudit) stopped the most recent Run/RunUntil call, or nil if the queue
+// drained (or the limit was reached) normally.
 func (s *Sim) StopErr() error { return s.stopErr }
 
-// tick advances the periodic check state by one dispatched event and reports
-// whether the loop must stop. Callers only invoke it when a check is
-// installed.
+// hooked reports whether any periodic hook is installed.
+func (s *Sim) hooked() bool { return s.check != nil || s.audit != nil }
+
+// tick advances the periodic hook state by one dispatched event and reports
+// whether the loop must stop. Callers only invoke it when a hook is
+// installed. The budget check runs before the audit so a run that is both
+// over budget and inconsistent reports the budget trip (the established
+// failure mode) rather than whichever invariant the corruption reached
+// first.
 func (s *Sim) tick() bool {
-	s.sinceCheck++
-	if s.sinceCheck < s.checkEvery {
-		return false
+	if s.check != nil {
+		s.sinceCheck++
+		if s.sinceCheck >= s.checkEvery {
+			s.sinceCheck = 0
+			if err := s.check(); err != nil {
+				s.stopErr = err
+				return true
+			}
+		}
 	}
-	s.sinceCheck = 0
-	if err := s.check(); err != nil {
-		s.stopErr = err
-		return true
+	if s.audit != nil {
+		s.sinceAudit++
+		if s.sinceAudit >= s.auditEvery {
+			s.sinceAudit = 0
+			if err := s.audit(); err != nil {
+				s.stopErr = err
+				return true
+			}
+		}
 	}
 	return false
 }
 
 // Run executes events until the queue drains and returns the number of
-// events processed by this call. If a check is installed (SetCheck) and
+// events processed by this call. If an installed hook (SetCheck/SetAudit)
 // stops the loop, the queue is left intact and StopErr reports why.
 func (s *Sim) Run() uint64 {
 	start := s.nRun
-	if s.check == nil {
+	if !s.hooked() {
 		for s.Step() {
 		}
 		return s.nRun - start
@@ -263,15 +305,16 @@ func (s *Sim) Run() uint64 {
 
 // RunUntil executes events with timestamps <= limit. It returns the number
 // of events processed by this call. Events beyond the limit remain queued.
-// An installed check (SetCheck) is honored exactly as in Run.
+// Installed hooks (SetCheck/SetAudit) are honored exactly as in Run.
 func (s *Sim) RunUntil(limit Cycle) uint64 {
 	start := s.nRun
-	if s.check != nil {
+	hooked := s.hooked()
+	if hooked {
 		s.stopErr = nil
 	}
 	for len(s.events) > 0 && s.events[0].at <= limit {
 		s.Step()
-		if s.check != nil && s.tick() {
+		if hooked && s.tick() {
 			return s.nRun - start
 		}
 	}

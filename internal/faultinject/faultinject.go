@@ -47,7 +47,54 @@ const (
 	// when the configured budget was generous or absent. It proves the
 	// budget-trip plumbing end to end without waiting out a real budget.
 	CorruptBudget
+	// CorruptCounter perturbs one model statistic, chosen by Plan.Target,
+	// by the smallest possible amount (one count, one byte). The run
+	// otherwise proceeds normally — which is the point: the perturbation is
+	// invisible to every lifecycle guard and only the invariant auditor's
+	// conservation laws can catch it. Each target is engineered to break
+	// exactly one audited invariant, so the corrupt-counter plan family
+	// proves check by check that the auditor actually fires.
+	CorruptCounter
 )
+
+// Valid corrupt-counter targets. Each names the counter internal/core
+// perturbs and, in parentheses, the invariant that must catch it.
+const (
+	// TargetLineReads over-counts the machine's line-read counter
+	// (l1-flow: L1 accesses no longer equal issued line reads).
+	TargetLineReads = "line-reads"
+	// TargetLineWrites over-counts the machine's line-write counter
+	// (l2-flow: L2 write accesses no longer equal issued line writes).
+	TargetLineWrites = "line-writes"
+	// TargetEnergyLink books one phantom byte on the energy meter's link
+	// domain (energy-bytes: meter vs. NoC byte reconciliation).
+	TargetEnergyLink = "energy-link"
+	// TargetEnergyDRAM books one phantom byte of DRAM energy
+	// (energy-bytes: meter vs. DRAM partition byte reconciliation).
+	TargetEnergyDRAM = "energy-dram"
+	// TargetInFlight leaks one in-flight load count
+	// (drain: in-flight operations nonzero at the kernel boundary).
+	TargetInFlight = "inflight"
+	// TargetClamp starts a ClampStorm so the clamped-event count grows with
+	// the event count (clamp-guard: the ClampedEvents ratio ceiling).
+	TargetClamp = "clamp"
+)
+
+// Targets lists every valid corrupt-counter target.
+func Targets() []string {
+	return []string{TargetLineReads, TargetLineWrites, TargetEnergyLink,
+		TargetEnergyDRAM, TargetInFlight, TargetClamp}
+}
+
+// ValidTarget reports whether t names a corrupt-counter target.
+func ValidTarget(t string) bool {
+	for _, v := range Targets() {
+		if t == v {
+			return true
+		}
+	}
+	return false
+}
 
 // String returns the kind's plan-syntax name.
 func (k Kind) String() string {
@@ -62,6 +109,8 @@ func (k Kind) String() string {
 		return "spin"
 	case CorruptBudget:
 		return "corrupt"
+	case CorruptCounter:
+		return "corrupt-counter"
 	}
 	return fmt.Sprintf("Kind(%d)", int(k))
 }
@@ -77,6 +126,9 @@ type Plan struct {
 	// Workload, when non-empty, restricts the fault to runs of the workload
 	// with this name; other runs are untouched.
 	Workload string
+	// Target selects which counter a CorruptCounter plan perturbs (one of
+	// the Target* constants); empty for every other kind.
+	Target string
 }
 
 // Enabled reports whether the plan injects anything.
@@ -92,7 +144,11 @@ func (p Plan) String() string {
 	if !p.Enabled() {
 		return ""
 	}
-	s := fmt.Sprintf("%s@%d", p.Kind, p.AtEvent)
+	s := p.Kind.String()
+	if p.Kind == CorruptCounter {
+		s += "." + p.Target
+	}
+	s += fmt.Sprintf("@%d", p.AtEvent)
 	if p.Workload != "" {
 		s += ":" + p.Workload
 	}
@@ -100,7 +156,9 @@ func (p Plan) String() string {
 }
 
 // Parse builds a Plan from its string form: kind@event[:workload], e.g.
-// "panic@1000", "stall@50000:GEMM". An empty string is the disabled plan.
+// "panic@1000", "stall@50000:GEMM". The corrupt-counter kind carries its
+// target as a suffix: "corrupt-counter.line-reads@1000". An empty string is
+// the disabled plan.
 func Parse(s string) (Plan, error) {
 	if s == "" {
 		return Plan{}, nil
@@ -118,17 +176,24 @@ func Parse(s string) (Plan, error) {
 	if !ok {
 		return Plan{}, fmt.Errorf("faultinject: %q: want kind@event[:workload]", s)
 	}
-	switch kindStr {
-	case "panic":
+	switch {
+	case kindStr == "panic":
 		p.Kind = Panic
-	case "stall":
+	case kindStr == "stall":
 		p.Kind = Stall
-	case "spin":
+	case kindStr == "spin":
 		p.Kind = Spin
-	case "corrupt":
+	case kindStr == "corrupt":
 		p.Kind = CorruptBudget
+	case strings.HasPrefix(kindStr, "corrupt-counter"):
+		p.Kind = CorruptCounter
+		p.Target = strings.TrimPrefix(strings.TrimPrefix(kindStr, "corrupt-counter"), ".")
+		if !ValidTarget(p.Target) {
+			return Plan{}, fmt.Errorf("faultinject: %q: corrupt-counter target %q, want one of %s",
+				s, p.Target, strings.Join(Targets(), ", "))
+		}
 	default:
-		return Plan{}, fmt.Errorf("faultinject: %q: unknown kind %q (want panic, stall, spin or corrupt)", s, kindStr)
+		return Plan{}, fmt.Errorf("faultinject: %q: unknown kind %q (want panic, stall, spin, corrupt or corrupt-counter.<target>)", s, kindStr)
 	}
 	at, err := strconv.ParseUint(atStr, 10, 64)
 	if err != nil {
@@ -173,4 +238,24 @@ func (st *Staller) Dispatch(uint8) {
 // Start schedules the staller's first event at the current time.
 func (st *Staller) Start() {
 	st.Sim.AtEvent(st.Sim.Now(), st, 0)
+}
+
+// ClampStorm is the self-rescheduling event behind the corrupt-counter
+// "clamp" target: every dispatch reschedules itself one cycle in the past,
+// so the engine clamps one event per dispatch and the clamped-event count
+// grows linearly with the event count — far past the auditor's
+// ClampedEvents ratio budget. Unlike Staller it lets simulated time advance
+// (the clamp pins each event to Now), so only the clamp guard catches it.
+type ClampStorm struct {
+	Sim *engine.Sim
+}
+
+// Dispatch implements engine.Event.
+func (cs *ClampStorm) Dispatch(uint8) {
+	cs.Sim.AtEvent(cs.Sim.Now()-1, cs, 0)
+}
+
+// Start schedules the storm's first event at the current time.
+func (cs *ClampStorm) Start() {
+	cs.Sim.AtEvent(cs.Sim.Now(), cs, 0)
 }

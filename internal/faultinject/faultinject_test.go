@@ -13,6 +13,8 @@ func TestParseStringRoundTrip(t *testing.T) {
 		"spin@50000",
 		"corrupt@42:GEMM",
 		"stall@7:CFD",
+		"corrupt-counter.line-reads@1000",
+		"corrupt-counter.clamp@5000:GEMM",
 	}
 	for _, s := range cases {
 		p, err := Parse(s)
@@ -51,6 +53,11 @@ func TestParseRejectsMalformed(t *testing.T) {
 		"@100",             // empty kind
 		"panic@-1",         // negative event count
 		"none@0",           // None is not a spelled kind
+		"corrupt-counter@10",          // missing target
+		"corrupt-counter.@10",         // empty target
+		"corrupt-counter.bogus@10",    // unknown target
+		"corrupt.line-reads@10",       // target on a non-counter kind
+		"panic.line-reads@10",         // target on a non-counter kind
 	} {
 		if p, err := Parse(s); err == nil {
 			t.Errorf("Parse(%q) = %+v, want error", s, p)
@@ -120,5 +127,50 @@ func TestInjectedError(t *testing.T) {
 	inj := Injected{Plan: Plan{Kind: Panic, AtEvent: 10}}
 	if inj.Error() == "" {
 		t.Fatal("Injected.Error is empty")
+	}
+}
+
+func TestCorruptCounterTargets(t *testing.T) {
+	targets := Targets()
+	if len(targets) == 0 {
+		t.Fatal("no corrupt-counter targets declared")
+	}
+	for _, tgt := range targets {
+		if !ValidTarget(tgt) {
+			t.Errorf("ValidTarget(%q) = false for a declared target", tgt)
+		}
+		s := "corrupt-counter." + tgt + "@77"
+		p, err := Parse(s)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", s, err)
+		}
+		want := Plan{Kind: CorruptCounter, AtEvent: 77, Target: tgt}
+		if p != want {
+			t.Errorf("Parse(%q) = %+v, want %+v", s, p, want)
+		}
+		if got := p.String(); got != s {
+			t.Errorf("round trip %q -> %q", s, got)
+		}
+	}
+	for _, tgt := range []string{"", "bogus", "line-reads "} {
+		if ValidTarget(tgt) {
+			t.Errorf("ValidTarget(%q) = true", tgt)
+		}
+	}
+}
+
+// TestClampStormClampsEveryEvent asserts the storm forces the engine to
+// clamp one event per dispatch while still letting the queue stay live.
+func TestClampStormClampsEveryEvent(t *testing.T) {
+	sim := engine.New()
+	cs := &ClampStorm{Sim: sim}
+	cs.Start()
+	for i := 0; i < 100; i++ {
+		if !sim.Step() {
+			t.Fatal("clamp storm let the queue drain")
+		}
+	}
+	if got := sim.Clamped(); got < 99 {
+		t.Fatalf("clamp storm produced only %d clamped events after 100 steps", got)
 	}
 }

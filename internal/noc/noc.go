@@ -13,6 +13,7 @@ package noc
 import (
 	"fmt"
 
+	"mcmgpu/internal/audit"
 	"mcmgpu/internal/config"
 	"mcmgpu/internal/engine"
 )
@@ -269,6 +270,20 @@ func (n *Network) links() []*engine.Resource {
 		}
 	}
 	return out
+}
+
+// Audit checks byte conservation into r: the network-wide totalBytes counter
+// (the quantity behind the paper's inter-GPM bandwidth figures) must equal
+// the sum of per-link reservation units, since Send increments both for
+// every link a message traverses. A mismatch means bytes were double-booked
+// on a link or dropped from the total — exactly the silent skew that would
+// corrupt Figures 7, 10 and 14.
+func (n *Network) Audit(r *audit.Reporter) {
+	var sum uint64
+	for _, l := range n.links() {
+		sum += l.Units()
+	}
+	audit.Equal(r, "noc-bytes", "noc", "sum of per-link reserved bytes", sum, n.totalBytes)
 }
 
 // MaxLinkUtilization returns the utilization of the busiest link over the

@@ -26,6 +26,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"mcmgpu/internal/audit"
 	"mcmgpu/internal/config"
 	"mcmgpu/internal/core"
 	"mcmgpu/internal/faultinject"
@@ -222,9 +223,12 @@ func (r *Runner) opts(j Job) core.RunOptions {
 }
 
 // jobKey extends the memoization key with whatever bounds change the
-// outcome deterministically: event/cycle budgets and a matching fault plan.
-// Wall deadlines and contexts are excluded — their failures depend on wall
-// time, so they are transient and never memoized (see Cache.do).
+// outcome deterministically: event/cycle budgets, a matching fault plan, and
+// the invariant auditor (auditing never changes a successful result, but it
+// can deterministically turn a corrupted run into an error, so audited and
+// unaudited runs must not share entries). Wall deadlines and contexts are
+// excluded — their failures depend on wall time, so they are transient and
+// never memoized (see Cache.do).
 func (r *Runner) jobKey(j Job) string {
 	k := j.key()
 	if r.Limits.MaxEvents > 0 || r.Limits.MaxCycles > 0 {
@@ -232,6 +236,9 @@ func (r *Runner) jobKey(j Job) string {
 	}
 	if r.Fault.Matches(j.Spec.Name) {
 		k += "|fault:" + r.Fault.String()
+	}
+	if r.Limits.Audit || audit.Forced() {
+		k += "|audit"
 	}
 	return k
 }

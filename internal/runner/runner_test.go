@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"mcmgpu/internal/audit"
 	"mcmgpu/internal/config"
 	"mcmgpu/internal/core"
 	"mcmgpu/internal/faultinject"
@@ -371,5 +372,73 @@ func TestRunSuite(t *testing.T) {
 	}
 	if out["CFD"].Workload != "CFD" {
 		t.Fatalf("result identity = %q, want CFD", out["CFD"].Workload)
+	}
+}
+
+// TestAuditViolationFlowsThroughJobError proves a broken conservation law
+// surfaces as a structured *audit.Violation reachable through the runner's
+// JobError aggregate with plain errors.As — the plumbing CLIs and tests rely
+// on to attribute an ERR cell to a specific invariant.
+func TestAuditViolationFlowsThroughJobError(t *testing.T) {
+	r := &Runner{
+		Workers: 2,
+		Limits:  core.RunOptions{Audit: true, CheckEvery: 64},
+		Fault: faultinject.Plan{
+			Kind:     faultinject.CorruptCounter,
+			Target:   faultinject.TargetLineReads,
+			AtEvent:  5_000,
+			Workload: "GEMM",
+		},
+	}
+	jobs := []Job{
+		{Config: config.BaselineMCM(), Spec: mustSpec(t, "CFD"), Scale: 0.05},
+		{Config: config.BaselineMCM(), Spec: mustSpec(t, "GEMM"), Scale: 0.05},
+	}
+	results, err := r.Run(jobs)
+	if err == nil {
+		t.Fatal("corrupted audited job did not fail")
+	}
+	if results[0] == nil {
+		t.Error("unfaulted job was dragged down by its neighbor's violation")
+	}
+	if results[1] != nil {
+		t.Error("corrupted job still produced a result")
+	}
+	var je *JobError
+	if !errors.As(err, &je) || je.Workload != "GEMM" {
+		t.Fatalf("error does not identify the corrupted job: %v", err)
+	}
+	var v *audit.Violation
+	if !errors.As(err, &v) {
+		t.Fatalf("no *audit.Violation in the error chain: %v", err)
+	}
+	if v.Invariant != "l1-flow" {
+		t.Errorf("violation names invariant %q, want l1-flow", v.Invariant)
+	}
+	var se *core.SimError
+	if !errors.As(err, &se) || se.Kind != core.KindInvariant {
+		t.Fatalf("no KindInvariant SimError in the chain: %v", err)
+	}
+}
+
+// TestAuditedJobsKeyedSeparately asserts audited and unaudited runs of the
+// same job never share a cache entry: a violation memoized under the audited
+// key must not poison the unaudited key, and vice versa.
+func TestAuditedJobsKeyedSeparately(t *testing.T) {
+	// MCMGPU_AUDIT=1 (the CI audited pass) would audit the "plain" runner
+	// too, legitimately collapsing the two keys; pin it off for this test.
+	t.Setenv(audit.EnvVar, "")
+	cache := NewCache()
+	job := Job{Config: config.BaselineMCM(), Spec: mustSpec(t, "NW"), Scale: 0.05}
+	plain := &Runner{Workers: 1, Cache: cache}
+	audited := &Runner{Workers: 1, Cache: cache, Limits: core.RunOptions{Audit: true}}
+	if _, err := plain.Run([]Job{job}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := audited.Run([]Job{job}); err != nil {
+		t.Fatal(err)
+	}
+	if s := cache.Stats(); s.Misses != 2 || s.Entries != 2 {
+		t.Fatalf("audited and unaudited runs shared a cache entry: %+v", s)
 	}
 }

@@ -11,6 +11,7 @@ package sm
 import (
 	"fmt"
 
+	"mcmgpu/internal/audit"
 	"mcmgpu/internal/cache"
 	"mcmgpu/internal/config"
 	"mcmgpu/internal/engine"
@@ -177,3 +178,36 @@ func (s *SM) ReleaseStore() StoreWaiter {
 
 // StoresInFlight returns current store buffer occupancy.
 func (s *SM) StoresInFlight() int { return s.storeInFlight }
+
+// PendingStoreWaiters returns how many warps are parked waiting for a store
+// buffer slot. At a kernel boundary this must be zero: a parked warp with no
+// in-flight store to wake it is a lost-wakeup deadlock.
+func (s *SM) PendingStoreWaiters() int { return len(s.storeWaiters) - s.waitHead }
+
+// LaunchedCTAs returns the number of CTAs admitted to this SM.
+func (s *SM) LaunchedCTAs() uint64 { return s.launchedCTAs }
+
+// Audit reports structural invariant violations into r: residency within
+// the configured caps, non-negative occupancy counters, store-buffer
+// occupancy within its slots, and peak residency consistent with the cap.
+// These hold at any instant, so the auditor runs them periodically; the
+// boundary-only drain checks (residency back to zero between kernels) live
+// in internal/core, which knows where kernel boundaries are.
+func (s *SM) Audit(r *audit.Reporter) {
+	name := fmt.Sprintf("sm%d", s.id)
+	if s.residentCTAs < 0 || s.residentCTAs > s.maxCTAs {
+		r.Reportf("sm-residency", name, "%d resident CTAs outside [0, %d]", s.residentCTAs, s.maxCTAs)
+	}
+	if s.residentWrps < 0 || s.residentWrps > s.maxWarps {
+		r.Reportf("sm-residency", name, "%d resident warps outside [0, %d]", s.residentWrps, s.maxWarps)
+	}
+	if s.peakResidency > s.maxWarps {
+		r.Reportf("sm-residency", name, "peak residency %d exceeds the %d-warp cap", s.peakResidency, s.maxWarps)
+	}
+	if s.storeInFlight < 0 || s.storeInFlight > StoreBufferSlots {
+		r.Reportf("sm-store-buffer", name, "%d stores in flight outside [0, %d]", s.storeInFlight, StoreBufferSlots)
+	}
+	if s.retiredCTAs > s.launchedCTAs {
+		r.Reportf("sm-residency", name, "retired %d CTAs but launched only %d", s.retiredCTAs, s.launchedCTAs)
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"math/bits"
 
+	"mcmgpu/internal/audit"
 	"mcmgpu/internal/config"
 )
 
@@ -110,6 +111,39 @@ func (m *AddressMap) MappedPages() int { return len(m.pages) }
 // PagesPerModule returns, per module, how many pages first touch bound to
 // it. The slice is live; callers must not modify it.
 func (m *AddressMap) PagesPerModule() []int { return m.pagesPerModule }
+
+// FirstTouchFills returns how many pages were bound by first touch. It
+// equals MappedPages unless a mapping was double-filled or lost.
+func (m *AddressMap) FirstTouchFills() uint64 { return m.firstTouchFills }
+
+// Audit checks page-table consistency into r. Under first touch: every page
+// fill bound exactly one page (fills == mapped pages), the per-module counts
+// partition the page table (their sum == mapped pages), and every owner is a
+// real module. Under interleave nothing may have been bound at all — a
+// non-zero fill count there means the placement policy was misrouted.
+func (m *AddressMap) Audit(r *audit.Reporter) {
+	mapped := uint64(len(m.pages))
+	if m.policy != config.PlaceFirstTouch {
+		audit.Equal(r, "vm-pages", "vm", "first-touch fills under interleave placement", m.firstTouchFills, uint64(0))
+		return
+	}
+	audit.Equal(r, "vm-pages", "vm", "first-touch fills", m.firstTouchFills, mapped)
+	var sum uint64
+	for mod, n := range m.pagesPerModule {
+		if n < 0 {
+			r.Reportf("vm-pages", "vm", "module %d owns %d pages (negative)", mod, n)
+			continue
+		}
+		sum += uint64(n)
+	}
+	audit.Equal(r, "vm-pages", "vm", "sum of per-module page counts", sum, mapped)
+	modules := len(m.pagesPerModule)
+	for page, owner := range m.pages {
+		if owner < 0 || owner >= modules {
+			r.Reportf("vm-pages", "vm", "page %#x owned by module %d, machine has %d modules", page, owner, modules)
+		}
+	}
+}
 
 // Reset drops all page mappings, as when a new application starts. Page
 // mappings deliberately survive kernel boundaries within an application:

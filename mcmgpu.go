@@ -18,6 +18,7 @@ import (
 	"errors"
 
 	"mcmgpu/internal/analytic"
+	"mcmgpu/internal/audit"
 	"mcmgpu/internal/config"
 	"mcmgpu/internal/core"
 	"mcmgpu/internal/faultinject"
@@ -51,6 +52,11 @@ type (
 	JobErrors = runner.JobErrors
 	// FaultPlan is a deterministic fault-injection plan (tests, CI smoke).
 	FaultPlan = faultinject.Plan
+	// Violation is one broken simulation invariant found by the auditor
+	// (see Options.Audit); reach it with errors.As through any run error.
+	Violation = audit.Violation
+	// Violations aggregates every violation one audit pass found.
+	Violations = audit.Violations
 )
 
 // Workload categories, re-exported.
@@ -194,6 +200,7 @@ func (o Options) runner() *runner.Runner {
 			MaxEvents:    o.MaxEvents,
 			MaxCycles:    o.MaxCycles,
 			WallDeadline: o.Deadline,
+			Audit:        o.Audit,
 		},
 		Fault: o.Fault,
 	}
