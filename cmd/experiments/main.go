@@ -76,6 +76,8 @@ func main() {
 		keepGoing = flag.Bool("keep-going", false, "render failed cells as ERR instead of aborting; exit 1 at the end if any failed")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf   = flag.String("memprofile", "", "write an allocation profile to this file on exit")
+		metricsF  = flag.String("metrics", "", "stream per-interval time-series samples of every simulation to this file (NDJSON, or CSV when the path ends in .csv)")
+		metricsIv = flag.Uint64("metrics-interval", 0, "sampling interval in cycles for -metrics (0 = default)")
 	)
 	flag.Parse()
 
@@ -121,6 +123,24 @@ func main() {
 	}
 	if *timeout > 0 {
 		opt.Deadline = time.Now().Add(*timeout)
+	}
+	if *metricsF != "" {
+		f, err := os.Create(*metricsF)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+				os.Exit(1)
+			}
+		}()
+		opt.Metrics = &mcmgpu.MetricsOptions{
+			Interval: *metricsIv,
+			W:        f,
+			CSV:      strings.HasSuffix(*metricsF, ".csv"),
+		}
 	}
 	// Warnings go to stderr (deduplicated) so the table output on stdout
 	// stays byte-identical across -j settings and reruns of cached cells.

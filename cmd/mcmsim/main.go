@@ -21,7 +21,9 @@ import (
 
 	"mcmgpu/internal/config"
 	"mcmgpu/internal/core"
+	"mcmgpu/internal/engine"
 	"mcmgpu/internal/faultinject"
+	"mcmgpu/internal/metrics"
 	"mcmgpu/internal/prof"
 	"mcmgpu/internal/report"
 	"mcmgpu/internal/trace"
@@ -59,6 +61,9 @@ func main() {
 		maxCycles = flag.Uint64("max-cycles", 0, "per-run simulated-cycle budget (0 = none)")
 		auditOn   = flag.Bool("audit", false, "check simulation invariants (conservation laws) during every run; MCMGPU_AUDIT=1 forces this on")
 		keepGoing = flag.Bool("keep-going", false, "continue to the next workload after a failed run; exit 1 at the end")
+
+		metricsF  = flag.String("metrics", "", "stream per-interval time-series samples to this file (NDJSON, or CSV when the path ends in .csv)")
+		metricsIv = flag.Uint64("metrics-interval", uint64(metrics.DefaultInterval), "sampling interval in cycles for -metrics")
 	)
 	flag.Parse()
 
@@ -142,6 +147,25 @@ func main() {
 		ropts.WallDeadline = time.Now().Add(*timeout)
 	}
 
+	// One recorder serves all sequential runs; each run's records carry its
+	// own config/workload labels, so the streams concatenate cleanly.
+	var rec *metrics.Recorder
+	if *metricsF != "" {
+		f, err := os.Create(*metricsF)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mcmsim:", err)
+			os.Exit(1)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "mcmsim:", err)
+				os.Exit(1)
+			}
+		}()
+		rec = metrics.NewRecorder(f, engine.Cycle(*metricsIv), strings.HasSuffix(*metricsF, ".csv"))
+		ropts.Metrics = rec
+	}
+
 	failed := 0
 	for _, spec := range specs {
 		run := spec
@@ -179,12 +203,25 @@ func main() {
 		if *v {
 			fmt.Printf("  instrs=%d memops=%d reads=%d writes=%d\n",
 				res.WarpInstrs, res.MemOps, res.LineReads, res.LineWrites)
-			fmt.Printf("  L1=%.3f L1.5=%.3f L2=%.3f dramBytes=%d dramUtil avg=%.2f peak=%.2f linkUtil=%.2f pages=%d\n",
-				res.L1HitRate, res.L15HitRate, res.L2HitRate, res.DRAMBytes,
-				res.AvgDRAMUtil, res.PeakDRAMUtil, res.MaxLinkUtil, res.MappedPages)
+			// Hit rates render as a dash when a level was never accessed
+			// (disabled L1.5, all-hit upper level), not as a fake 0%.
+			fmt.Printf("  L1=%s L1.5=%s L2=%s dramBytes=%d dramUtil avg=%.2f peak=%.2f linkUtil=%.2f pages=%d\n",
+				rate(res.L1HitRate, res.L1Accesses > 0),
+				rate(res.L15HitRate, res.L15Accesses > 0),
+				rate(res.L2HitRate, res.L2Accesses > 0),
+				res.DRAMBytes, res.AvgDRAMUtil, res.PeakDRAMUtil, res.MaxLinkUtil, res.MappedPages)
 			e := res.EnergyPJ
 			fmt.Printf("  energy(pJ): chip=%.0f package=%.0f board=%.0f dram=%.0f total=%.0f\n",
 				e.Chip, e.Package, e.Board, e.DRAM, e.Total)
+		}
+		if rec != nil {
+			for _, tbl := range rec.Summary().Tables() {
+				fmt.Println()
+				if err := tbl.WriteText(os.Stdout); err != nil {
+					fmt.Fprintln(os.Stderr, "mcmsim:", err)
+					os.Exit(1)
+				}
+			}
 		}
 		if res.ClampedEvents > 0 {
 			fmt.Fprintf(os.Stderr, "mcmsim: warning: %s clamped %d event(s) to the current cycle\n",
@@ -195,6 +232,15 @@ func main() {
 		fmt.Fprintf(os.Stderr, "mcmsim: %d of %d workloads failed\n", failed, len(specs))
 		os.Exit(1)
 	}
+}
+
+// rate renders a hit rate, or report.Dash when the level was never accessed
+// — a disabled L1.5 shows "—" instead of a fake 0.000.
+func rate(v float64, valid bool) string {
+	if !valid {
+		return report.Dash
+	}
+	return fmt.Sprintf("%.3f", v)
 }
 
 // characterize records one kernel launch of each workload and prints its

@@ -50,6 +50,8 @@ func main() {
 		maxEvents = flag.Uint64("max-events", 0, "per-simulation event budget (0 = none)")
 		auditOn   = flag.Bool("audit", false, "check simulation invariants (conservation laws) during every job; MCMGPU_AUDIT=1 forces this on")
 		keepGoing = flag.Bool("keep-going", false, "render failed grid cells as ERR instead of aborting; exit 1 at the end if any failed")
+		metricsF  = flag.String("metrics", "", "stream per-interval time-series samples of every simulation to this file (NDJSON, or CSV when the path ends in .csv)")
+		metricsIv = flag.Uint64("metrics-interval", 0, "sampling interval in cycles for -metrics (0 = default)")
 	)
 	flag.Parse()
 
@@ -117,6 +119,22 @@ func main() {
 	}
 	if !*nocache {
 		r.Cache = runner.Shared()
+	}
+	if *metricsF != "" {
+		f, err := os.Create(*metricsF)
+		if err != nil {
+			fail(err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				fail(err)
+			}
+		}()
+		r.Metrics = &runner.MetricsOptions{
+			Interval: *metricsIv,
+			W:        f,
+			CSV:      strings.HasSuffix(*metricsF, ".csv"),
+		}
 	}
 	results, err := r.Run(jobList)
 	failedCells := false

@@ -59,6 +59,14 @@ type Options struct {
 	// table output: failed cells in KeepGoing mode and non-zero
 	// ClampedEvents counts. The CLIs route it to stderr.
 	Warnf func(format string, args ...interface{})
+	// Metrics, when non-nil with a writer, attaches the time-series sampler
+	// to every simulation job and streams the per-job records (NDJSON or
+	// CSV) to Metrics.W in job order. Sampling only observes: tables are
+	// byte-identical with and without it. Jobs satisfied from the run cache
+	// emit nothing (their stream was written when the entry was populated),
+	// so pair Metrics with NoCache to re-stream previously cached suites.
+	// CLIs arm it from -metrics / -metrics-interval.
+	Metrics *MetricsOptions
 }
 
 // warnf emits a diagnostic when a sink is configured.

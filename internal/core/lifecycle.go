@@ -8,6 +8,7 @@ import (
 
 	"mcmgpu/internal/engine"
 	"mcmgpu/internal/faultinject"
+	"mcmgpu/internal/metrics"
 )
 
 // DefaultCheckEvery is how many event dispatches pass between budget checks
@@ -48,6 +49,14 @@ type RunOptions struct {
 	// one. The MCMGPU_AUDIT environment variable forces auditing on
 	// regardless of this field (see internal/audit.Forced).
 	Audit bool
+	// Metrics, when non-nil, attaches the time-series sampler: the machine
+	// registers its links, crossbars, DRAM partitions and caches as probes
+	// and the recorder streams per-interval delta samples plus per-kernel
+	// phase records. Sampling only observes the simulation, so a sampled
+	// run's Result is byte-identical to an unsampled one. A recorder write
+	// error fails the run after the simulation completes. Metrics does not
+	// make a run bounded.
+	Metrics *metrics.Recorder
 }
 
 // bounded reports whether any limit, context, or fault plan is set.

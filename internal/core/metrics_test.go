@@ -1,0 +1,167 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"mcmgpu/internal/config"
+	"mcmgpu/internal/engine"
+	"mcmgpu/internal/metrics"
+)
+
+// runSampled runs the probe spec with a recorder attached and returns the
+// result plus the parsed NDJSON records.
+func runSampled(t *testing.T, interval engine.Cycle) (*Result, []map[string]interface{}) {
+	t.Helper()
+	var buf bytes.Buffer
+	rec := metrics.NewRecorder(&buf, interval, false)
+	m, err := New(config.BaselineMCM())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.RunWith(probeSpec(nil), RunOptions{Metrics: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var recs []map[string]interface{}
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		if line == "" {
+			continue
+		}
+		var rm map[string]interface{}
+		if err := json.Unmarshal([]byte(line), &rm); err != nil {
+			t.Fatalf("unparseable NDJSON line %q: %v", line, err)
+		}
+		recs = append(recs, rm)
+	}
+	return res, recs
+}
+
+// TestSampledRunByteIdentical pins the observational contract: a run with
+// the metrics sampler attached produces exactly the Result an unsampled run
+// does.
+func TestSampledRunByteIdentical(t *testing.T) {
+	plain := mustRun(t, config.BaselineMCM(), probeSpec(nil))
+	sampled, recs := runSampled(t, 4096)
+	if !reflect.DeepEqual(plain, sampled) {
+		t.Fatalf("sampled result differs from unsampled:\nplain:   %+v\nsampled: %+v", plain, sampled)
+	}
+	if len(recs) == 0 {
+		t.Fatal("no metrics records emitted")
+	}
+}
+
+// TestMetricsRecordsWellFormed checks the stream's semantic invariants over
+// a real two-kernel simulation: every utilization in [0,1], samples ordered
+// and non-overlapping, per-kernel busy deltas telescoping to the whole-run
+// figures, per-kernel utilization computed over kernel-elapsed cycles.
+func TestMetricsRecordsWellFormed(t *testing.T) {
+	res, recs := runSampled(t, 4096)
+
+	var kernels []map[string]interface{}
+	lastEnd := -1.0
+	for _, rm := range recs {
+		for _, rr := range rm["resources"].([]interface{}) {
+			r := rr.(map[string]interface{})
+			u := r["util"].(float64)
+			if u < 0 || u > 1 {
+				t.Fatalf("util %v out of [0,1] for %v in %v record", u, r["name"], rm["type"])
+			}
+			if r["busy"].(float64) < 0 {
+				t.Fatalf("negative busy delta for %v", r["name"])
+			}
+		}
+		if rm["type"] == "kernel" {
+			kernels = append(kernels, rm)
+			continue
+		}
+		if s := rm["start"].(float64); s < lastEnd {
+			t.Fatalf("sample starting at %v overlaps previous ending at %v", s, lastEnd)
+		}
+		lastEnd = rm["end"].(float64)
+	}
+	// The probe spec runs KernelIters = 2.
+	if len(kernels) != 2 {
+		t.Fatalf("got %d kernel records, want 2", len(kernels))
+	}
+	k0, k1 := kernels[0], kernels[1]
+	if k0["start"].(float64) != 0 {
+		t.Fatalf("kernel 0 starts at %v, want 0", k0["start"])
+	}
+	// Kernel 1 begins where kernel 0 ended (the inter-kernel launch gap is
+	// charged to the following kernel's span) and the last kernel ends at
+	// the run's final cycle.
+	if k1["start"].(float64) != k0["end"].(float64) {
+		t.Fatalf("kernel 1 starts at %v, kernel 0 ended at %v", k1["start"], k0["end"])
+	}
+	if got := k1["end"].(float64); got != float64(res.Cycles) {
+		t.Fatalf("kernel 1 ends at %v, want run end %d", got, res.Cycles)
+	}
+
+	// Per-kernel busy deltas and utilizations: for each resource, the two
+	// kernels' busy cycles sum to the whole run's busy-through, and each
+	// kernel's util equals its busy over its own elapsed cycles (clamped).
+	type span struct{ busy, util, start, end float64 }
+	byName := func(k map[string]interface{}) map[string]span {
+		out := map[string]span{}
+		for _, rr := range k["resources"].([]interface{}) {
+			r := rr.(map[string]interface{})
+			out[r["name"].(string)] = span{
+				busy: r["busy"].(float64), util: r["util"].(float64),
+				start: k["start"].(float64), end: k["end"].(float64),
+			}
+		}
+		return out
+	}
+	m0, m1 := byName(k0), byName(k1)
+	checked := 0
+	for name, s0 := range m0 {
+		s1 := m1[name]
+		for _, s := range []span{s0, s1} {
+			elapsed := s.end - s.start
+			want := s.busy / elapsed
+			if want > 1 {
+				want = 1
+			}
+			if diff := s.util - want; diff > 1e-9 || diff < -1e-9 {
+				t.Fatalf("%s: kernel util %v, want busy/kernel-elapsed %v", name, s.util, want)
+			}
+		}
+		if s0.busy+s1.busy > 0 {
+			checked++
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no resource accumulated busy cycles in either kernel")
+	}
+}
+
+// TestMetricsWriteErrorFailsRun pins that a failing metrics sink surfaces as
+// a run error instead of being swallowed.
+func TestMetricsWriteErrorFailsRun(t *testing.T) {
+	rec := metrics.NewRecorder(failWriter{}, 4096, false)
+	m, err := New(config.BaselineMCM())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.RunWith(probeSpec(nil), RunOptions{Metrics: rec}); err == nil {
+		t.Fatal("run with a failing metrics writer reported success")
+	} else if !strings.Contains(err.Error(), "metrics export") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write(p []byte) (int, error) {
+	return 0, errWrite
+}
+
+var errWrite = &writeErr{}
+
+type writeErr struct{}
+
+func (*writeErr) Error() string { return "sink full" }

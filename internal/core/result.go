@@ -30,10 +30,16 @@ type Result struct {
 	// DRAMBytes is bytes moved at DRAM devices.
 	DRAMBytes uint64
 
-	// Hit rates per level (combined read+write).
-	L1HitRate  float64
-	L15HitRate float64
-	L2HitRate  float64
+	// Hit rates per level (combined read+write), with the access counts the
+	// denominators came from. A 0 rate with 0 accesses means the level was
+	// disabled or never reached, not that it thrashed; renderers consult the
+	// counts to show a dash instead of a fake 0% (see report.Rate).
+	L1HitRate   float64
+	L1Accesses  uint64
+	L15HitRate  float64
+	L15Accesses uint64
+	L2HitRate   float64
+	L2Accesses  uint64
 
 	// LocalFraction is the fraction of post-L1 accesses homed in the
 	// requesting module's own partitions.
@@ -123,6 +129,7 @@ func (m *Machine) collect() *Result {
 		l1Total += s.L1.Accesses()
 	}
 	r.L1HitRate = ratio(l1Hits, l1Total)
+	r.L1Accesses = l1Total
 
 	var l15Hits, l15Total uint64
 	for _, mod := range m.mods {
@@ -132,6 +139,7 @@ func (m *Machine) collect() *Result {
 		}
 	}
 	r.L15HitRate = ratio(l15Hits, l15Total)
+	r.L15Accesses = l15Total
 
 	var l2Hits, l2Total, dramBytes uint64
 	var peak, sum float64
@@ -146,6 +154,7 @@ func (m *Machine) collect() *Result {
 		}
 	}
 	r.L2HitRate = ratio(l2Hits, l2Total)
+	r.L2Accesses = l2Total
 	r.DRAMBytes = dramBytes
 	r.PeakDRAMUtil = peak
 	r.AvgDRAMUtil = sum / float64(len(m.prts))

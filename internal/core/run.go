@@ -91,6 +91,9 @@ func (m *Machine) RunWith(spec *workload.Spec, opts RunOptions) (*Result, error)
 		m.aud = m.newAuditor()
 		m.sim.SetAudit(DefaultAuditEvery, m.periodicAudit)
 	}
+	if opts.Metrics != nil {
+		m.attachMetrics(opts.Metrics)
+	}
 
 	for iter := 0; iter < spec.KernelIters; iter++ {
 		if iter > 0 {
@@ -112,7 +115,16 @@ func (m *Machine) RunWith(spec *workload.Spec, opts RunOptions) (*Result, error)
 				return nil, err
 			}
 		}
+		if opts.Metrics != nil {
+			opts.Metrics.KernelBoundary(m.sim.Now(), m.sim.Processed())
+		}
 		m.flushKernelBoundary()
+	}
+	if opts.Metrics != nil {
+		opts.Metrics.Finish(m.sim.Now(), m.sim.Processed())
+		if err := opts.Metrics.Err(); err != nil {
+			return nil, fmt.Errorf("core: metrics export: %w", err)
+		}
 	}
 	return m.collect(), nil
 }

@@ -87,6 +87,16 @@ func (p *Partition) Utilization(elapsed engine.Cycle) float64 {
 	return p.res.Utilization(elapsed)
 }
 
+// BusyThrough returns the device's busy cycles clipped to now (see
+// engine.Resource.BusyThrough). With Units it makes the partition a metrics
+// probe.
+func (p *Partition) BusyThrough(now engine.Cycle) float64 {
+	return p.res.BusyThrough(now)
+}
+
+// Units returns the bytes reserved on the device resource.
+func (p *Partition) Units() uint64 { return p.res.Units() }
+
 // Reset clears counters and reservations.
 func (p *Partition) Reset() {
 	p.res.Reset()

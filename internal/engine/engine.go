@@ -81,6 +81,13 @@ type Sim struct {
 	audit      func() error
 	auditEvery uint64
 	sinceAudit uint64
+
+	// Periodic sample state (see SetSample): a third hook for the metrics
+	// sampler. Unlike check and audit it cannot stop the loop — sampling is
+	// strictly observational — so it has no error return.
+	sample      func()
+	sampleEvery uint64
+	sinceSample uint64
 }
 
 // New returns an empty simulator positioned at cycle 0.
@@ -246,13 +253,28 @@ func (s *Sim) SetAudit(interval uint64, fn func() error) {
 	s.stopErr = nil
 }
 
+// SetSample installs fn as a third periodic hook, invoked every interval
+// dispatched events after the SetCheck and SetAudit hooks. It is the
+// engine-side attachment point for the metrics sampler: fn must only observe
+// (it has no way to stop the loop and no error return), which is what keeps
+// a sampled run byte-identical to an unsampled one. Passing fn == nil or
+// interval == 0 removes the hook.
+func (s *Sim) SetSample(interval uint64, fn func()) {
+	if interval == 0 {
+		fn = nil
+	}
+	s.sample = fn
+	s.sampleEvery = interval
+	s.sinceSample = 0
+}
+
 // StopErr returns the error with which an installed hook (SetCheck or
 // SetAudit) stopped the most recent Run/RunUntil call, or nil if the queue
 // drained (or the limit was reached) normally.
 func (s *Sim) StopErr() error { return s.stopErr }
 
 // hooked reports whether any periodic hook is installed.
-func (s *Sim) hooked() bool { return s.check != nil || s.audit != nil }
+func (s *Sim) hooked() bool { return s.check != nil || s.audit != nil || s.sample != nil }
 
 // tick advances the periodic hook state by one dispatched event and reports
 // whether the loop must stop. Callers only invoke it when a hook is
@@ -279,6 +301,13 @@ func (s *Sim) tick() bool {
 				s.stopErr = err
 				return true
 			}
+		}
+	}
+	if s.sample != nil {
+		s.sinceSample++
+		if s.sinceSample >= s.sampleEvery {
+			s.sinceSample = 0
+			s.sample()
 		}
 	}
 	return false
@@ -339,6 +368,18 @@ type Resource struct {
 	busy      float64 // total occupied cycles
 	units     uint64  // total units transferred
 	resv      uint64  // number of reservations
+
+	// Interval-utilization settlement state (see BusyThrough). Reserve
+	// credits the full transfer duration to busy at reservation time, so on
+	// a saturated resource busy runs ahead of the clock with nextFree;
+	// dividing it by elapsed cycles mid-run used to report utilizations
+	// far above 1. BusyThrough clips occupancy to an advancing watermark
+	// instead: done is the busy time credited through mark, and tailLo is
+	// where the not-yet-settled occupancy span begins. busy itself is
+	// untouched, so end-of-run totals are exactly what they always were.
+	done   float64 // busy cycles settled at or before mark
+	mark   float64 // settlement watermark (monotone)
+	tailLo float64 // start of the unsettled occupancy span
 }
 
 // NewResource creates a resource named name with the given throughput in
@@ -383,7 +424,16 @@ func toCycle(t float64) Cycle { return Cycle(t + 0.5) }
 // the cycle at which the transfer completes. The resource is busy from
 // max(now, previous completion) until the returned time.
 func (r *Resource) Reserve(now Cycle, units uint64) Cycle {
-	_, dur, end := r.window(now, units)
+	start, dur, end := r.window(now, units)
+	if r.busy == r.done {
+		// No unsettled occupancy: this reservation begins a fresh span.
+		// Occupancy already settled through mark must not be re-counted,
+		// so the span cannot start before the watermark.
+		r.tailLo = start
+		if r.tailLo < r.mark {
+			r.tailLo = r.mark
+		}
+	}
 	r.nextFree = end
 	r.busy += dur
 	r.units += units
@@ -404,16 +454,77 @@ func (r *Resource) Units() uint64 { return r.units }
 // Reservations returns the number of reservations made.
 func (r *Resource) Reservations() uint64 { return r.resv }
 
-// BusyCycles returns the total cycles the resource has been occupied.
+// BusyCycles returns the total cycles the resource has been occupied,
+// including occupancy booked beyond the current simulated time. For a
+// time-clipped view use BusyThrough.
 func (r *Resource) BusyCycles() float64 { return r.busy }
 
-// Utilization returns the fraction of elapsed cycles the resource was busy.
-// It reports 0 for a zero elapsed interval.
+// BusyThrough returns the busy cycles the resource accumulated at or before
+// now, advancing the settlement watermark to now. This is the quantity
+// interval utilization must be computed from: Reserve credits a transfer's
+// full duration to BusyCycles immediately, so on a saturated resource the
+// raw total runs arbitrarily far ahead of the clock.
+//
+// Settlement is exact whenever now has reached the end of all booked
+// occupancy (the rounding contract of toCycle decides "reached", so a
+// drained run settles to exactly BusyCycles). Mid-span, occupancy is
+// credited pro-rata over the unsettled span [tailLo, nextFree): exact for a
+// saturated resource (the span is fully busy — the case the clipping
+// exists for) and an approximation when the span has internal idle gaps.
+// The approximation preserves the three properties samplers rely on:
+// BusyThrough never exceeds now, it is monotone for monotone queries, and
+// successive deltas never exceed the elapsed cycles between them and sum to
+// BusyCycles once the resource drains.
+//
+// Queries at or before the current watermark return the settled value
+// unchanged; interval samplers always query with monotone timestamps.
+func (r *Resource) BusyThrough(now Cycle) float64 {
+	t := float64(now)
+	if t <= r.mark {
+		return r.done
+	}
+	if now >= toCycle(r.nextFree) {
+		// All booked occupancy is over (on the published cycle grid):
+		// settle everything. Re-basing done on busy here also resyncs any
+		// float drift the pro-rata branch accumulated.
+		r.done = r.busy
+		r.mark = t
+		r.tailLo = r.nextFree
+		return r.done
+	}
+	lo := r.tailLo
+	if lo < r.mark {
+		lo = r.mark
+	}
+	if t <= lo {
+		// The unsettled span starts in the future; nothing new to credit.
+		r.mark = t
+		return r.done
+	}
+	pending := r.busy - r.done
+	if pending < 0 {
+		pending = 0
+	}
+	credit := pending * (t - lo) / (r.nextFree - lo)
+	if credit > pending {
+		credit = pending
+	}
+	r.done += credit
+	r.mark = t
+	r.tailLo = t
+	return r.done
+}
+
+// Utilization returns the fraction of elapsed cycles the resource was busy,
+// counting only occupancy at or before elapsed (see BusyThrough) — a
+// saturated resource sampled mid-run reads ~1.0, never more. It reports 0
+// for a zero elapsed interval. For a fully drained run the result is
+// identical to BusyCycles()/elapsed.
 func (r *Resource) Utilization(elapsed Cycle) float64 {
 	if elapsed == 0 {
 		return 0
 	}
-	return r.busy / float64(elapsed)
+	return r.BusyThrough(elapsed) / float64(elapsed)
 }
 
 // Reset clears reservation history but keeps the configured throughput.
@@ -422,4 +533,7 @@ func (r *Resource) Reset() {
 	r.busy = 0
 	r.units = 0
 	r.resv = 0
+	r.done = 0
+	r.mark = 0
+	r.tailLo = 0
 }

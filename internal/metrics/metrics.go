@@ -1,0 +1,539 @@
+// Package metrics is the simulator's time-series observability layer: a
+// periodic sampler that rides the engine's third hook (engine.Sim.SetSample,
+// alongside SetCheck/SetAudit) and exports per-interval *deltas* of the
+// machine's bandwidth and cache counters as NDJSON or CSV.
+//
+// The sampler is strictly observational. Every quantity it reads is either a
+// cumulative counter or engine.Resource.BusyThrough — which advances a
+// settlement watermark but never changes reservation timing or end-of-run
+// totals — so a sampled run is byte-identical to an unsampled one. That
+// contract is pinned by tests in core and runner and by CI's metrics smoke
+// step.
+//
+// Interval utilization is computed from busy-cycle deltas clipped to the
+// observation interval (see engine.Resource.BusyThrough), so a saturated
+// link reads 1.0 during the phase that saturates it instead of the >1
+// figures the raw Reserve-time accounting would give. The emitted busy
+// deltas themselves are exact: over any run they sum to the resource's
+// end-of-run BusyCycles.
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"mcmgpu/internal/engine"
+	"mcmgpu/internal/report"
+	"mcmgpu/internal/stats"
+)
+
+// DefaultInterval is the sampling interval, in cycles, when the caller does
+// not choose one. At the model's 1 GHz clock this is ~4 µs of simulated
+// time — fine enough to resolve kernel phases, coarse enough that a full
+// experiment sweep emits megabytes, not gigabytes.
+const DefaultInterval engine.Cycle = 4096
+
+// Probe is a bandwidth-limited component the sampler reads: anything that
+// can report time-clipped busy cycles and cumulative transferred units.
+// engine.Resource satisfies it directly; dram.Partition delegates.
+type Probe interface {
+	BusyThrough(now engine.Cycle) float64
+	Units() uint64
+}
+
+// CacheCounters is the slice of a cache the sampler reads. cache.Cache
+// satisfies it.
+type CacheCounters interface {
+	Hits() uint64
+	Accesses() uint64
+}
+
+// State is the instantaneous machine state attached to each sample.
+type State struct {
+	LiveCTAs       int
+	InFlightLoads  int
+	InFlightStores int
+}
+
+// probeState is one registered resource with its delta baselines: last* is
+// the previous sample's settled value, k* the current kernel's start value.
+type probeState struct {
+	kind string
+	gpm  int
+	name string
+	p    Probe
+
+	lastBusy  float64
+	lastUnits uint64
+	kBusy     float64
+	kUnits    uint64
+}
+
+// cacheState is one registered cache level within one GPM (possibly several
+// physical slices, e.g. all L1s of a module) with its delta baselines.
+type cacheState struct {
+	level string
+	gpm   int
+	cs    []CacheCounters
+
+	lastHits, lastAcc uint64
+	kHits, kAcc       uint64
+}
+
+func (c *cacheState) totals() (hits, acc uint64) {
+	for _, cc := range c.cs {
+		hits += cc.Hits()
+		acc += cc.Accesses()
+	}
+	return hits, acc
+}
+
+// Recorder samples one run at a time and streams records to a writer. It is
+// reusable: Begin resets the per-run state, so one Recorder can serve a
+// sequence of runs (the CLIs run it across every selected workload) while
+// writing a single concatenated stream. It is not safe for concurrent use;
+// the parallel runner gives each job its own Recorder over its own buffer.
+type Recorder struct {
+	w        io.Writer
+	interval engine.Cycle
+	csv      bool
+
+	wroteHeader bool
+	err         error
+
+	config, workload string
+	seq              int
+	kernel           int
+	lastCycle        engine.Cycle
+	lastEvents       uint64
+	kCycle           engine.Cycle
+	kEvents          uint64
+	resources        []*probeState
+	caches           []*cacheState
+	state            func() State
+
+	sum *Summary
+}
+
+// NewRecorder creates a Recorder writing to w (nil = discard) every interval
+// cycles (<= 0 = DefaultInterval), as CSV when csv is set and NDJSON
+// otherwise.
+func NewRecorder(w io.Writer, interval engine.Cycle, csv bool) *Recorder {
+	if w == nil {
+		w = io.Discard
+	}
+	if interval <= 0 {
+		interval = DefaultInterval
+	}
+	return &Recorder{w: w, interval: interval, csv: csv}
+}
+
+// OmitCSVHeader suppresses the CSV header row. The parallel runner sets it
+// on every per-job Recorder and writes one header itself, so concatenating
+// job streams yields a single well-formed CSV.
+func (r *Recorder) OmitCSVHeader() { r.wroteHeader = true }
+
+// Interval returns the sampling interval in cycles.
+func (r *Recorder) Interval() engine.Cycle { return r.interval }
+
+// Err returns the first write or encoding error, if any. core surfaces it as
+// a run failure after the simulation completes.
+func (r *Recorder) Err() error { return r.err }
+
+// Begin resets the per-run state for a new (config, workload) run. The
+// machine registers its probes after Begin and before the first Tick.
+func (r *Recorder) Begin(config, workload string) {
+	r.config, r.workload = config, workload
+	r.seq, r.kernel = 0, 0
+	r.lastCycle, r.lastEvents = 0, 0
+	r.kCycle, r.kEvents = 0, 0
+	r.resources = r.resources[:0]
+	r.caches = r.caches[:0]
+	r.state = nil
+	r.sum = &Summary{Config: config, Workload: workload, gpmIdx: map[int]int{}}
+}
+
+// AddResource registers one bandwidth-limited component under a kind tag
+// ("link", "xbar", "l2bank", "dram") attributed to a GPM.
+func (r *Recorder) AddResource(kind string, gpm int, name string, p Probe) {
+	r.resources = append(r.resources, &probeState{kind: kind, gpm: gpm, name: name, p: p})
+	if kind == "link" {
+		r.sum.addGPM(gpm)
+	}
+}
+
+// AddCaches registers the physical slices of one cache level within one GPM;
+// their counters are aggregated into a single per-sample entry.
+func (r *Recorder) AddCaches(level string, gpm int, cs []CacheCounters) {
+	if len(cs) == 0 {
+		return
+	}
+	r.caches = append(r.caches, &cacheState{level: level, gpm: gpm, cs: cs})
+}
+
+// SetStateProbe registers the instantaneous-state callback.
+func (r *Recorder) SetStateProbe(fn func() State) { r.state = fn }
+
+// Tick is the engine sample hook's body: it emits a sample once at least one
+// interval of simulated time has passed since the previous one. Samples land
+// on event timestamps, so their spans are >= the interval, not exact
+// multiples of it.
+func (r *Recorder) Tick(now engine.Cycle, events uint64) {
+	if now-r.lastCycle >= r.interval {
+		r.emitSample(now, events)
+	}
+}
+
+// KernelBoundary closes the current kernel: it flushes a partial sample (so
+// no sample straddles a boundary) and emits one kernel record whose busy
+// deltas and utilizations are computed over the kernel's own elapsed cycles.
+// Resources are intentionally not Reset at kernel boundaries — all counters
+// are cumulative across kernels — so per-kernel figures come from these
+// deltas, never from dividing a cumulative counter by a kernel-local
+// denominator.
+func (r *Recorder) KernelBoundary(now engine.Cycle, events uint64) {
+	r.emitSample(now, events)
+	r.emitKernel(now, events)
+	r.kernel++
+	r.kCycle, r.kEvents = now, events
+	for _, p := range r.resources {
+		p.kBusy, p.kUnits = p.lastBusy, p.lastUnits
+	}
+	for _, c := range r.caches {
+		c.kHits, c.kAcc = c.lastHits, c.lastAcc
+	}
+}
+
+// Finish flushes the trailing partial sample of a run.
+func (r *Recorder) Finish(now engine.Cycle, events uint64) {
+	r.emitSample(now, events)
+}
+
+// resourceRecord is the per-resource slice of a sample or kernel record.
+// Busy is the exact busy-cycle delta over the record's span; Util is
+// Busy/span clamped to [0, 1] (sub-cycle rounding can overshoot 1 by less
+// than half a cycle over the span; the clamp keeps the published series in
+// range while Busy stays exact).
+type resourceRecord struct {
+	Name  string  `json:"name"`
+	Kind  string  `json:"kind"`
+	GPM   int     `json:"gpm"`
+	Busy  float64 `json:"busy"`
+	Units uint64  `json:"units"`
+	Util  float64 `json:"util"`
+}
+
+// cacheRecord is the per-cache-level slice of a sample or kernel record.
+type cacheRecord struct {
+	Level  string `json:"level"`
+	GPM    int    `json:"gpm"`
+	Hits   uint64 `json:"hits"`
+	Misses uint64 `json:"misses"`
+}
+
+// sampleRecord is one NDJSON "sample" line: the deltas over [Start, End].
+type sampleRecord struct {
+	Type      string           `json:"type"`
+	Config    string           `json:"config"`
+	Workload  string           `json:"workload"`
+	Seq       int              `json:"seq"`
+	Kernel    int              `json:"kernel"`
+	Start     uint64           `json:"start"`
+	End       uint64           `json:"end"`
+	Events    uint64           `json:"events"`
+	LiveCTAs  int              `json:"liveCTAs"`
+	Loads     int              `json:"loads"`
+	Stores    int              `json:"stores"`
+	Resources []resourceRecord `json:"resources"`
+	Caches    []cacheRecord    `json:"caches"`
+}
+
+// kernelRecord is one NDJSON "kernel" line: one kernel's phase boundary,
+// with deltas over the whole kernel span [Start, End].
+type kernelRecord struct {
+	Type      string           `json:"type"`
+	Config    string           `json:"config"`
+	Workload  string           `json:"workload"`
+	Kernel    int              `json:"kernel"`
+	Start     uint64           `json:"start"`
+	End       uint64           `json:"end"`
+	Events    uint64           `json:"events"`
+	Resources []resourceRecord `json:"resources"`
+	Caches    []cacheRecord    `json:"caches"`
+}
+
+// clampedUtil returns busy/elapsed clamped to [0, 1].
+func clampedUtil(busy, elapsed float64) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	u := busy / elapsed
+	if u < 0 {
+		return 0
+	}
+	if u > 1 {
+		return 1
+	}
+	return u
+}
+
+func (r *Recorder) emitSample(now engine.Cycle, events uint64) {
+	if r.err != nil || now <= r.lastCycle {
+		return
+	}
+	elapsed := float64(now - r.lastCycle)
+	res := make([]resourceRecord, len(r.resources))
+	pt := point{start: r.lastCycle, end: now, linkUtil: make([]float64, len(r.sum.gpms))}
+	for i, p := range r.resources {
+		busy := p.p.BusyThrough(now)
+		units := p.p.Units()
+		rec := resourceRecord{
+			Name:  p.name,
+			Kind:  p.kind,
+			GPM:   p.gpm,
+			Busy:  busy - p.lastBusy,
+			Units: units - p.lastUnits,
+			Util:  clampedUtil(busy-p.lastBusy, elapsed),
+		}
+		p.lastBusy, p.lastUnits = busy, units
+		res[i] = rec
+		switch p.kind {
+		case "link":
+			if gi, ok := r.sum.gpmIdx[p.gpm]; ok && rec.Util > pt.linkUtil[gi] {
+				pt.linkUtil[gi] = rec.Util
+			}
+		case "dram":
+			pt.dramBytes += rec.Units
+		}
+	}
+	caches := make([]cacheRecord, len(r.caches))
+	for i, c := range r.caches {
+		hits, acc := c.totals()
+		caches[i] = cacheRecord{
+			Level:  c.level,
+			GPM:    c.gpm,
+			Hits:   hits - c.lastHits,
+			Misses: (acc - c.lastAcc) - (hits - c.lastHits),
+		}
+		c.lastHits, c.lastAcc = hits, acc
+	}
+	var st State
+	if r.state != nil {
+		st = r.state()
+	}
+	rec := sampleRecord{
+		Type:      "sample",
+		Config:    r.config,
+		Workload:  r.workload,
+		Seq:       r.seq,
+		Kernel:    r.kernel,
+		Start:     uint64(r.lastCycle),
+		End:       uint64(now),
+		Events:    events - r.lastEvents,
+		LiveCTAs:  st.LiveCTAs,
+		Loads:     st.InFlightLoads,
+		Stores:    st.InFlightStores,
+		Resources: res,
+		Caches:    caches,
+	}
+	if r.csv {
+		r.writeCSVSample(&rec)
+	} else {
+		r.writeJSON(&rec)
+	}
+	r.sum.points = append(r.sum.points, pt)
+	r.lastCycle, r.lastEvents = now, events
+	r.seq++
+}
+
+func (r *Recorder) emitKernel(now engine.Cycle, events uint64) {
+	if r.err != nil {
+		return
+	}
+	elapsed := float64(now - r.kCycle)
+	res := make([]resourceRecord, len(r.resources))
+	for i, p := range r.resources {
+		// emitSample just settled every probe through now (or nothing has
+		// elapsed since it last did), so lastBusy is BusyThrough(now).
+		res[i] = resourceRecord{
+			Name:  p.name,
+			Kind:  p.kind,
+			GPM:   p.gpm,
+			Busy:  p.lastBusy - p.kBusy,
+			Units: p.lastUnits - p.kUnits,
+			Util:  clampedUtil(p.lastBusy-p.kBusy, elapsed),
+		}
+	}
+	caches := make([]cacheRecord, len(r.caches))
+	for i, c := range r.caches {
+		caches[i] = cacheRecord{
+			Level:  c.level,
+			GPM:    c.gpm,
+			Hits:   c.lastHits - c.kHits,
+			Misses: (c.lastAcc - c.kAcc) - (c.lastHits - c.kHits),
+		}
+	}
+	rec := kernelRecord{
+		Type:      "kernel",
+		Config:    r.config,
+		Workload:  r.workload,
+		Kernel:    r.kernel,
+		Start:     uint64(r.kCycle),
+		End:       uint64(now),
+		Events:    events - r.kEvents,
+		Resources: res,
+		Caches:    caches,
+	}
+	if r.csv {
+		r.writeCSVKernel(&rec)
+	} else {
+		r.writeJSON(&rec)
+	}
+}
+
+func (r *Recorder) writeJSON(v interface{}) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		r.err = err
+		return
+	}
+	if _, err := r.w.Write(append(data, '\n')); err != nil {
+		r.err = err
+	}
+}
+
+// CSVHeader is the header row of the CSV export's long format: one row per
+// (record, resource-or-cache). Resource rows fill busy/units/util; cache
+// rows fill hits/misses; kernel rows leave seq and the state columns empty.
+const CSVHeader = "type,config,workload,seq,kernel,start,end,events,liveCTAs,loads,stores,kind,gpm,name,busy,units,util,hits,misses"
+
+func (r *Recorder) header(b *strings.Builder) {
+	if !r.wroteHeader {
+		b.WriteString(CSVHeader)
+		b.WriteByte('\n')
+		r.wroteHeader = true
+	}
+}
+
+// csvField quotes a value when the RFC-4180 specials require it.
+func csvField(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return "\"" + strings.ReplaceAll(s, "\"", "\"\"") + "\""
+	}
+	return s
+}
+
+func (r *Recorder) writeCSVSample(rec *sampleRecord) {
+	var b strings.Builder
+	r.header(&b)
+	prefix := fmt.Sprintf("sample,%s,%s,%d,%d,%d,%d,%d,%d,%d,%d",
+		csvField(rec.Config), csvField(rec.Workload), rec.Seq, rec.Kernel,
+		rec.Start, rec.End, rec.Events, rec.LiveCTAs, rec.Loads, rec.Stores)
+	writeCSVBody(&b, prefix, rec.Resources, rec.Caches)
+	if _, err := io.WriteString(r.w, b.String()); err != nil {
+		r.err = err
+	}
+}
+
+func (r *Recorder) writeCSVKernel(rec *kernelRecord) {
+	var b strings.Builder
+	r.header(&b)
+	prefix := fmt.Sprintf("kernel,%s,%s,,%d,%d,%d,%d,,,",
+		csvField(rec.Config), csvField(rec.Workload), rec.Kernel,
+		rec.Start, rec.End, rec.Events)
+	writeCSVBody(&b, prefix, rec.Resources, rec.Caches)
+	if _, err := io.WriteString(r.w, b.String()); err != nil {
+		r.err = err
+	}
+}
+
+func writeCSVBody(b *strings.Builder, prefix string, res []resourceRecord, caches []cacheRecord) {
+	for _, rr := range res {
+		fmt.Fprintf(b, "%s,%s,%d,%s,%g,%d,%g,,\n", prefix, rr.Kind, rr.GPM, csvField(rr.Name), rr.Busy, rr.Units, rr.Util)
+	}
+	for _, cr := range caches {
+		fmt.Fprintf(b, "%s,cache,%d,%s,,,,%d,%d\n", prefix, cr.GPM, csvField(cr.Level), cr.Hits, cr.Misses)
+	}
+}
+
+// point is one sample's compact summary retention: the per-GPM max link
+// utilization and the DRAM bytes moved over the span.
+type point struct {
+	start, end engine.Cycle
+	linkUtil   []float64
+	dramBytes  uint64
+}
+
+// Summary retains a compact per-sample series for one run and renders the
+// report tables: peak/mean/p95 link utilization per GPM and a DRAM bandwidth
+// timeline.
+type Summary struct {
+	Config   string
+	Workload string
+
+	gpms   []int
+	gpmIdx map[int]int
+	points []point
+}
+
+func (s *Summary) addGPM(gpm int) {
+	if _, ok := s.gpmIdx[gpm]; ok {
+		return
+	}
+	s.gpmIdx[gpm] = len(s.gpms)
+	s.gpms = append(s.gpms, gpm)
+}
+
+// Summary returns the current run's summary series.
+func (r *Recorder) Summary() *Summary { return r.sum }
+
+// Tables renders the summary: a per-GPM link-utilization table (peak, mean,
+// p95 of the per-sample max across the GPM's egress links) and a DRAM
+// bandwidth timeline bucketed to at most 16 rows. Runs with no samples (or
+// no inter-GPM links) contribute no corresponding table.
+func (s *Summary) Tables() []*report.Table {
+	var out []*report.Table
+	if len(s.points) == 0 {
+		return out
+	}
+	if len(s.gpms) > 0 {
+		t := report.New(fmt.Sprintf("Link utilization by GPM — %s on %s", s.Workload, s.Config),
+			"GPM", "Peak", "Mean", "P95")
+		for gi, gpm := range s.gpms {
+			xs := make([]float64, len(s.points))
+			for i, p := range s.points {
+				xs[i] = p.linkUtil[gi]
+			}
+			sorted := stats.Sorted(xs)
+			p95 := sorted[(len(sorted)*95)/100]
+			t.AddRowF(gpm, stats.Max(xs), stats.Mean(xs), p95)
+		}
+		t.Note = "per-sample max across the GPM's egress links; interval utilization is clipped to [0,1]"
+		out = append(out, t)
+	}
+
+	t := report.New(fmt.Sprintf("DRAM bandwidth timeline — %s on %s", s.Workload, s.Config),
+		"Cycles", "GB/s")
+	per := (len(s.points) + 15) / 16
+	for i := 0; i < len(s.points); i += per {
+		j := i + per
+		if j > len(s.points) {
+			j = len(s.points)
+		}
+		var bytes uint64
+		for _, p := range s.points[i:j] {
+			bytes += p.dramBytes
+		}
+		span := s.points[j-1].end - s.points[i].start
+		rate := 0.0
+		if span > 0 {
+			rate = float64(bytes) / float64(span)
+		}
+		t.AddRowF(fmt.Sprintf("%d-%d", s.points[i].start, s.points[j-1].end), rate)
+	}
+	t.Note = "bytes moved at DRAM devices per cycle; 1 byte/cycle = 1 GB/s at the model's 1 GHz clock"
+	out = append(out, t)
+	return out
+}

@@ -272,6 +272,35 @@ func (n *Network) links() []*engine.Resource {
 	return out
 }
 
+// Link is one unidirectional link resource together with the module it
+// egresses from, for per-GPM attribution in the metrics sampler.
+type Link struct {
+	GPM int
+	Res *engine.Resource
+}
+
+// Links returns every link with its source module, in a deterministic order
+// (ring cw/ccw, mesh east/west/north/south, then crossbar rows). Link i of a
+// directional group egresses node i; crossbar link [i][j] egresses node i.
+func (n *Network) Links() []Link {
+	var out []Link
+	for _, group := range [][]*engine.Resource{n.cw, n.ccw, n.east, n.west, n.north, n.south} {
+		for i, l := range group {
+			if l != nil {
+				out = append(out, Link{GPM: i, Res: l})
+			}
+		}
+	}
+	for i, row := range n.xbar {
+		for _, l := range row {
+			if l != nil {
+				out = append(out, Link{GPM: i, Res: l})
+			}
+		}
+	}
+	return out
+}
+
 // Audit checks byte conservation into r: the network-wide totalBytes counter
 // (the quantity behind the paper's inter-GPM bandwidth figures) must equal
 // the sum of per-link reservation units, since Send increments both for

@@ -8,6 +8,8 @@ import (
 	"io"
 	"strconv"
 	"strings"
+
+	"mcmgpu/internal/stats"
 )
 
 // Table is a simple column-oriented table.
@@ -29,6 +31,12 @@ func New(title string, headers ...string) *Table {
 // degrade a single table entry rather than kill a whole experiment sweep.
 const ErrCell = "ERR"
 
+// Dash is the cell rendered for a value that is undefined rather than
+// failed: a hit rate of a cache that was never accessed, a utilization over
+// an empty interval. It is visually distinct from both a computed 0.000
+// (real data) and ErrCell (a failure).
+const Dash = "—"
+
 // Cell returns v for AddRowF unless err is non-nil, in which case it
 // returns ErrCell. It is the one-line adapter between (value, error)
 // aggregates (e.g. stats.GeoMean) and table rows.
@@ -38,6 +46,20 @@ func Cell(v interface{}, err error) interface{} {
 	}
 	return v
 }
+
+// Rate returns v for AddRowF when valid, and Dash otherwise. It is how
+// tables distinguish "this cache was disabled / never accessed" from a true
+// 0% hit rate, which Value-style accessors conflate.
+func Rate(v float64, valid bool) interface{} {
+	if !valid {
+		return Dash
+	}
+	return v
+}
+
+// RatioCell renders a stats.Ratio: its value when it observed anything,
+// Dash when it never did.
+func RatioCell(r stats.Ratio) interface{} { return Rate(r.Value(), r.Valid()) }
 
 // AddRow appends a row; cells beyond the header count are rejected.
 func (t *Table) AddRow(cells ...string) {

@@ -1,0 +1,160 @@
+package runner
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"mcmgpu/internal/config"
+	"mcmgpu/internal/metrics"
+)
+
+// metricsJobs is a small two-config job list for sampling tests.
+func metricsJobs(t *testing.T) []Job {
+	t.Helper()
+	return []Job{
+		{Config: config.BaselineMCM(), Spec: mustSpec(t, "GEMM"), Scale: 0.05},
+		{Config: config.OptimizedMCM(), Spec: mustSpec(t, "GEMM"), Scale: 0.05},
+	}
+}
+
+// TestMetricsStreamDeterministic pins the assembled stream's contract: it is
+// a pure function of the job list — identical for any worker count — ordered
+// by job index, and the sampled results are byte-identical to unsampled ones.
+func TestMetricsStreamDeterministic(t *testing.T) {
+	jobs := metricsJobs(t)
+	plain, err := (&Runner{Workers: 1}).Run(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var want bytes.Buffer
+	seq := &Runner{Workers: 1, Metrics: &MetricsOptions{W: &want}}
+	wantRes, err := seq.Run(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.Len() == 0 {
+		t.Fatal("sampled run emitted no stream")
+	}
+	for i := range jobs {
+		if !reflect.DeepEqual(plain[i], wantRes[i]) {
+			t.Fatalf("job %d: sampled result differs from unsampled", i)
+		}
+	}
+
+	for _, workers := range []int{2, 8} {
+		var got bytes.Buffer
+		par := &Runner{Workers: workers, Cache: NewCache(), Metrics: &MetricsOptions{W: &got}}
+		if _, err := par.Run(jobs); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(want.Bytes(), got.Bytes()) {
+			t.Fatalf("workers=%d: stream differs from sequential (%d vs %d bytes)",
+				workers, got.Len(), want.Len())
+		}
+	}
+
+	// Records arrive grouped in job order: all of job 0's config first, then
+	// job 1's, never interleaved.
+	var seen []string
+	for _, line := range strings.Split(strings.TrimSpace(want.String()), "\n") {
+		var rec struct {
+			Config string `json:"config"`
+		}
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("unparseable NDJSON line %q: %v", line, err)
+		}
+		if n := len(seen); n == 0 || seen[n-1] != rec.Config {
+			seen = append(seen, rec.Config)
+		}
+	}
+	wantOrder := []string{jobs[0].Config.Name, jobs[1].Config.Name}
+	if !reflect.DeepEqual(seen, wantOrder) {
+		t.Fatalf("stream config order %v, want %v", seen, wantOrder)
+	}
+}
+
+// TestMetricsCacheKeys asserts the sampling cache semantics: a warm
+// unsampled cache does not suppress sampling (distinct keys), every job slot
+// streams even when the list repeats a simulation, and re-running the same
+// list against the warm sampled cache emits nothing new.
+func TestMetricsCacheKeys(t *testing.T) {
+	base := metricsJobs(t)
+	jobs := append(append([]Job{}, base...), base[0]) // duplicate job 0 at index 2
+	cache := NewCache()
+
+	// Warm the cache without sampling.
+	if _, err := (&Runner{Workers: 2, Cache: cache}).Run(jobs); err != nil {
+		t.Fatal(err)
+	}
+
+	var out bytes.Buffer
+	r := &Runner{Workers: 2, Cache: cache, Metrics: &MetricsOptions{W: &out}}
+	if _, err := r.Run(jobs); err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() == 0 {
+		t.Fatal("warm unsampled cache suppressed the metrics stream")
+	}
+
+	// The duplicate occupies its own slot, so its stream appears twice: the
+	// per-config record counts reflect 2x the duplicated config.
+	counts := map[string]int{}
+	for _, line := range strings.Split(strings.TrimSpace(out.String()), "\n") {
+		var rec struct {
+			Config string `json:"config"`
+		}
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatal(err)
+		}
+		counts[rec.Config]++
+	}
+	dup, other := jobs[0].Config.Name, jobs[1].Config.Name
+	if counts[dup] != 2*counts[other] {
+		t.Fatalf("duplicated job's config has %d records, other %d; want exactly 2x",
+			counts[dup], counts[other])
+	}
+
+	// Same list, warm sampled cache: all slots hit, nothing streams again.
+	prev := out.Len()
+	if _, err := r.Run(jobs); err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != prev {
+		t.Fatalf("warm sampled re-run appended %d bytes; want 0", out.Len()-prev)
+	}
+}
+
+// TestMetricsCSVSingleHeader pins that one CSV header serves the whole
+// stream, even across multiple Run calls sharing the options value.
+func TestMetricsCSVSingleHeader(t *testing.T) {
+	jobs := metricsJobs(t)
+	var out bytes.Buffer
+	mo := &MetricsOptions{W: &out, CSV: true, Interval: 8192}
+	r := &Runner{Workers: 2, Metrics: mo}
+	if _, err := r.Run(jobs[:1]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Run(jobs[1:]); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if lines[0] != metrics.CSVHeader {
+		t.Fatalf("first line %q, want the CSV header", lines[0])
+	}
+	headers := 0
+	for _, l := range lines {
+		if l == metrics.CSVHeader {
+			headers++
+		}
+	}
+	if headers != 1 {
+		t.Fatalf("stream contains %d header rows, want 1", headers)
+	}
+	if len(lines) < 3 {
+		t.Fatalf("CSV stream has only %d lines", len(lines))
+	}
+}

@@ -18,9 +18,11 @@
 package runner
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"runtime"
 	"runtime/debug"
 	"sync"
@@ -29,7 +31,9 @@ import (
 	"mcmgpu/internal/audit"
 	"mcmgpu/internal/config"
 	"mcmgpu/internal/core"
+	"mcmgpu/internal/engine"
 	"mcmgpu/internal/faultinject"
+	"mcmgpu/internal/metrics"
 	"mcmgpu/internal/workload"
 )
 
@@ -149,7 +153,45 @@ type Runner struct {
 	// nothing. Faulted jobs get their own cache keys, so injected failures
 	// never contaminate unfaulted results.
 	Fault faultinject.Plan
+	// Metrics, when non-nil with a writer, attaches a time-series sampler to
+	// every job. Each job samples into its own buffer; after all jobs finish
+	// the buffers of successful jobs are flushed to Metrics.W in job order,
+	// so the stream is identical for any Workers setting. Sampled jobs get
+	// per-(key, index) cache entries — mirroring how -audit and fault plans
+	// key — so every slot of a job list emits its own stream (duplicates
+	// included), while re-running the same list against a warm cache
+	// cache-hits and emits nothing rather than replaying streams.
+	Metrics *MetricsOptions
 }
+
+// MetricsOptions configures per-job time-series sampling (see
+// internal/metrics).
+type MetricsOptions struct {
+	// Interval is the sampling interval in cycles (0 = metrics.DefaultInterval).
+	Interval uint64
+	// W receives the concatenated streams of all successful jobs, in job
+	// order. A nil W disables sampling.
+	W io.Writer
+	// CSV selects CSV output instead of NDJSON. One header row is written
+	// for the whole stream regardless of how many jobs contribute.
+	CSV bool
+
+	// wroteHeader tracks the single CSV header across Run calls sharing
+	// this options value. Flushing happens on the Run caller's goroutine,
+	// so no lock is needed.
+	wroteHeader bool
+}
+
+// interval returns the effective sampling interval.
+func (mo *MetricsOptions) interval() engine.Cycle {
+	if mo.Interval > 0 {
+		return engine.Cycle(mo.Interval)
+	}
+	return metrics.DefaultInterval
+}
+
+// enabled reports whether sampling is armed.
+func (mo *MetricsOptions) enabled() bool { return mo != nil && mo.W != nil }
 
 func (r *Runner) workers() int {
 	if r.Workers > 0 {
@@ -166,6 +208,10 @@ func (r *Runner) workers() int {
 func (r *Runner) Run(jobs []Job) ([]*core.Result, error) {
 	results := make([]*core.Result, len(jobs))
 	errs := make([]error, len(jobs))
+	var bufs []*bytes.Buffer
+	if r.Metrics.enabled() {
+		bufs = make([]*bytes.Buffer, len(jobs))
+	}
 	n := r.workers()
 	if n > len(jobs) {
 		n = len(jobs)
@@ -184,7 +230,12 @@ func (r *Runner) Run(jobs []Job) ([]*core.Result, error) {
 				if i >= len(jobs) || (r.FailFast && failed.Load()) {
 					return
 				}
-				res, err := r.runJob(jobs[i])
+				var buf *bytes.Buffer
+				if bufs != nil {
+					buf = &bytes.Buffer{}
+					bufs[i] = buf
+				}
+				res, err := r.runJob(i, jobs[i], buf)
 				if err != nil {
 					errs[i] = err
 					failed.Store(true)
@@ -195,6 +246,11 @@ func (r *Runner) Run(jobs []Job) ([]*core.Result, error) {
 		}()
 	}
 	wg.Wait()
+	if bufs != nil {
+		if err := r.flushMetrics(bufs, errs); err != nil {
+			return results, fmt.Errorf("runner: metrics export: %w", err)
+		}
+	}
 	var jerrs JobErrors
 	for i, err := range errs {
 		if err != nil {
@@ -213,23 +269,55 @@ func (r *Runner) Run(jobs []Job) ([]*core.Result, error) {
 }
 
 // opts returns the bounds for one job: the shared limits, plus the fault
-// plan when it matches the job's workload.
-func (r *Runner) opts(j Job) core.RunOptions {
+// plan when it matches the job's workload, plus a sampler writing to buf
+// when metrics are armed.
+func (r *Runner) opts(j Job, buf *bytes.Buffer) core.RunOptions {
 	opts := r.Limits
 	if r.Fault.Matches(j.Spec.Name) {
 		opts.Fault = r.Fault
 	}
+	if buf != nil {
+		rec := metrics.NewRecorder(buf, r.Metrics.interval(), r.Metrics.CSV)
+		rec.OmitCSVHeader() // the flush phase writes one header for the stream
+		opts.Metrics = rec
+	}
 	return opts
+}
+
+// flushMetrics concatenates the per-job sample streams to Metrics.W in job
+// order, skipping failed jobs (their streams are partial) and cache hits
+// (their buffers are empty — the stream was emitted when the entry was
+// populated). Runs on the Run caller's goroutine after all workers join.
+func (r *Runner) flushMetrics(bufs []*bytes.Buffer, errs []error) error {
+	if r.Metrics.CSV && !r.Metrics.wroteHeader {
+		if _, err := io.WriteString(r.Metrics.W, metrics.CSVHeader+"\n"); err != nil {
+			return err
+		}
+		r.Metrics.wroteHeader = true
+	}
+	for i, buf := range bufs {
+		if buf == nil || errs[i] != nil {
+			continue
+		}
+		if _, err := r.Metrics.W.Write(buf.Bytes()); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // jobKey extends the memoization key with whatever bounds change the
 // outcome deterministically: event/cycle budgets, a matching fault plan, and
 // the invariant auditor (auditing never changes a successful result, but it
 // can deterministically turn a corrupted run into an error, so audited and
-// unaudited runs must not share entries). Wall deadlines and contexts are
-// excluded — their failures depend on wall time, so they are transient and
-// never memoized (see Cache.do).
-func (r *Runner) jobKey(j Job) string {
+// unaudited runs must not share entries). Sampled jobs additionally key on
+// the sampling interval and their job index: the index keeps two occurrences
+// of the same simulation in one job list from coalescing onto a single entry
+// (each must decide independently whether its buffer streams), while repeats
+// of the same index across Run calls still cache-hit and emit nothing. Wall
+// deadlines and contexts are excluded — their failures depend on wall time,
+// so they are transient and never memoized (see Cache.do).
+func (r *Runner) jobKey(i int, j Job) string {
 	k := j.key()
 	if r.Limits.MaxEvents > 0 || r.Limits.MaxCycles > 0 {
 		k = fmt.Sprintf("%s|me%d|mc%d", k, r.Limits.MaxEvents, r.Limits.MaxCycles)
@@ -239,6 +327,9 @@ func (r *Runner) jobKey(j Job) string {
 	}
 	if r.Limits.Audit || audit.Forced() {
 		k += "|audit"
+	}
+	if r.Metrics.enabled() {
+		k += fmt.Sprintf("|metrics:%d|job:%d", r.Metrics.interval(), i)
 	}
 	return k
 }
@@ -255,13 +346,13 @@ func safeRun(j Job, opts core.RunOptions) (res *core.Result, err error) {
 	return j.run(opts)
 }
 
-func (r *Runner) runJob(j Job) (*core.Result, error) {
-	opts := r.opts(j)
+func (r *Runner) runJob(i int, j Job, buf *bytes.Buffer) (*core.Result, error) {
+	opts := r.opts(j, buf)
 	run := func() (*core.Result, error) { return safeRun(j, opts) }
 	if r.Cache == nil {
 		return run()
 	}
-	return r.Cache.do(r.jobKey(j), run)
+	return r.Cache.do(r.jobKey(i, j), run)
 }
 
 // RunSuite executes the given workloads on one configuration and returns

@@ -42,13 +42,23 @@ func (r *Ratio) Observe(hit bool) {
 	}
 }
 
-// Value returns hits/total, or 0 when nothing was observed.
+// Value returns hits/total, or 0 when nothing was observed. Value alone
+// cannot distinguish "never accessed" from a true 0% hit rate; callers
+// rendering the ratio should consult Valid and show an em-dash (see
+// report.RatioCell) for the former.
 func (r *Ratio) Value() float64 {
 	if r.Total == 0 {
 		return 0
 	}
 	return float64(r.Hits) / float64(r.Total)
 }
+
+// Valid reports whether the ratio observed anything: a false Valid means
+// Value's 0 is "no data", not "0%".
+func (r *Ratio) Valid() bool { return r.Total > 0 }
+
+// Misses returns the number of observations that did not hit.
+func (r *Ratio) Misses() uint64 { return r.Total - r.Hits }
 
 // Reset zeroes the ratio.
 func (r *Ratio) Reset() { r.Hits, r.Total = 0, 0 }

@@ -38,6 +38,31 @@ func TestRatio(t *testing.T) {
 	}
 }
 
+// TestRatioValid pins the disambiguation between "never accessed" and a true
+// 0% hit rate: both return Value 0, only the latter is Valid.
+func TestRatioValid(t *testing.T) {
+	var never Ratio
+	if never.Valid() {
+		t.Fatal("empty ratio reports Valid")
+	}
+	var thrash Ratio
+	thrash.Observe(false)
+	thrash.Observe(false)
+	if !thrash.Valid() {
+		t.Fatal("observed ratio reports invalid")
+	}
+	if never.Value() != 0 || thrash.Value() != 0 {
+		t.Fatal("both cases must still report Value 0")
+	}
+	if got := thrash.Misses(); got != 2 {
+		t.Fatalf("Misses = %d, want 2", got)
+	}
+	thrash.Observe(true)
+	if got := thrash.Misses(); got != 2 {
+		t.Fatalf("Misses after a hit = %d, want 2", got)
+	}
+}
+
 func TestMean(t *testing.T) {
 	if got := Mean(nil); got != 0 {
 		t.Fatalf("Mean(nil) = %v", got)

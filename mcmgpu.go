@@ -57,6 +57,9 @@ type (
 	Violation = audit.Violation
 	// Violations aggregates every violation one audit pass found.
 	Violations = audit.Violations
+	// MetricsOptions arms per-job time-series sampling on experiment
+	// drivers and the batch runner (see Options.Metrics).
+	MetricsOptions = runner.MetricsOptions
 )
 
 // Workload categories, re-exported.
@@ -202,7 +205,8 @@ func (o Options) runner() *runner.Runner {
 			WallDeadline: o.Deadline,
 			Audit:        o.Audit,
 		},
-		Fault: o.Fault,
+		Fault:   o.Fault,
+		Metrics: o.Metrics,
 	}
 	if !o.NoCache {
 		r.Cache = runner.Shared()
