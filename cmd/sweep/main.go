@@ -5,28 +5,43 @@
 // conclusion implies: how much link bandwidth can architectural locality
 // buy back?
 //
-// The whole grid (baseline suite plus every grid point × workload) is
-// submitted as one job list to the parallel runner, so simulations fan out
-// across -j workers regardless of which grid point they belong to, and the
-// memoized run cache deduplicates any grid point that coincides with the
-// baseline. Output is byte-identical for any -j value.
+// The sweep is two-phase. Phase 1 scores every grid cell with the
+// closed-form analytic estimator (internal/analytic) — microseconds per
+// cell, no engine events. Phase 2 re-simulates only the cells that matter:
+// the analytic Pareto frontier over (link bandwidth cost, predicted
+// speedup), topped up with the best-scoring remainder to a budget set by
+// -phase2-frac (default 25% of the grid) or -refine. Estimated-only cells
+// render with a "~" prefix so a reader can always tell a prediction from a
+// measurement; -analytic-only skips phase 2 entirely and -phase2-frac 1
+// restores the legacy simulate-everything behavior.
+//
+// Phase 2 is submitted as one job list to the parallel runner (baseline
+// suite first), so simulations fan out across -j workers and the memoized
+// run cache deduplicates repeats. Output is byte-identical for any -j.
 //
 // Usage:
 //
-//	sweep                                # default grid, all workloads
-//	sweep -links 384,768,1536 -l15 0,8,16 -scale 0.5 -j 8
-//	sweep -workloads m-intensive -csv out.csv
+//	sweep                                # two-phase, default grid
+//	sweep -analytic-only                 # phase 1 only: no engine events
+//	sweep -refine 4                      # simulate the frontier + top cells, >= 4 total
+//	sweep -phase2-frac 1 -scale 0.5      # legacy full simulation
+//	sweep -workloads m-intensive -csv out.csv -bench-json BENCH_sweep.json
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
+	"io"
+	"math"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
 
+	"mcmgpu/internal/analytic"
 	"mcmgpu/internal/config"
 	"mcmgpu/internal/core"
 	"mcmgpu/internal/faultinject"
@@ -44,7 +59,7 @@ func main() {
 		scale     = flag.Float64("scale", 1.0, "workload scale factor")
 		opts      = flag.Bool("optimized", true, "apply distributed scheduling + first touch at every grid point")
 		jobs      = flag.Int("j", 0, "parallel simulation jobs (0 = GOMAXPROCS, 1 = sequential)")
-		nocache   = flag.Bool("nocache", false, "disable the memoized run cache")
+		nocache   = flag.Bool("nocache", false, "disable the memoized run and estimate caches")
 		csvOut    = flag.String("csv", "", "write CSV to this file instead of stdout")
 		timeout   = flag.Duration("timeout", 0, "wall-clock budget for the whole sweep (0 = none)")
 		maxEvents = flag.Uint64("max-events", 0, "per-simulation event budget (0 = none)")
@@ -52,6 +67,10 @@ func main() {
 		keepGoing = flag.Bool("keep-going", false, "render failed grid cells as ERR instead of aborting; exit 1 at the end if any failed")
 		metricsF  = flag.String("metrics", "", "stream per-interval time-series samples of every simulation to this file (NDJSON, or CSV when the path ends in .csv)")
 		metricsIv = flag.Uint64("metrics-interval", 0, "sampling interval in cycles for -metrics (0 = default)")
+		anOnly    = flag.Bool("analytic-only", false, "phase 1 only: score the whole grid analytically, run no simulations")
+		refine    = flag.Int("refine", 0, "number of cells to re-simulate in phase 2 (0 = use -phase2-frac); frontier cells are simulated first")
+		p2Frac    = flag.Float64("phase2-frac", 0.25, "fraction of grid cells to re-simulate in phase 2 (1 = simulate everything)")
+		benchJSON = flag.String("bench-json", "", "write phase throughput numbers (cells/sec analytic vs cycle-level) to this JSON file")
 	)
 	flag.Parse()
 
@@ -67,41 +86,15 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-
-	// Build every grid-point configuration up front, row-major over
-	// (l15, link), so the whole sweep can run as one job list.
-	var cfgs []*config.Config
-	for _, mb := range l15Vals {
-		for _, link := range linkVals {
-			cfg := config.MCMWithLink(link)
-			if mb > 0 {
-				keep := cfg.Link.GBps
-				cfg = config.WithL15(cfg, mb*config.MB, config.AllocRemoteOnly)
-				cfg.Link.GBps = keep
-			}
-			if *opts {
-				cfg.Scheduler = config.SchedDistributed
-				cfg.Placement = config.PlaceFirstTouch
-			}
-			cfg.Name = fmt.Sprintf("sweep-l15%dMB-link%g", mb, link)
-			cfgs = append(cfgs, cfg)
-		}
+	if *p2Frac < 0 || *p2Frac > 1 || math.IsNaN(*p2Frac) {
+		fail(fmt.Errorf("-phase2-frac %v out of range [0,1]", *p2Frac))
+	}
+	if *refine < 0 {
+		fail(fmt.Errorf("-refine %d must be >= 0", *refine))
 	}
 
-	// One flat job list: the baseline suite first, then each grid point's
-	// suite. Results come back in job order, so slicing by suite size
-	// recovers the grid deterministically.
-	var jobList []runner.Job
-	addSuite := func(cfg *config.Config) {
-		for _, s := range specs {
-			jobList = append(jobList, runner.Job{Config: cfg, Spec: s, Scale: *scale})
-		}
-	}
+	cfgs := buildGrid(l15Vals, linkVals, *opts)
 	base := config.BaselineMCM()
-	addSuite(base)
-	for _, cfg := range cfgs {
-		addSuite(cfg)
-	}
 
 	fault, err := faultinject.FromEnv()
 	if err != nil {
@@ -119,6 +112,7 @@ func main() {
 	}
 	if !*nocache {
 		r.Cache = runner.Shared()
+		r.EstCache = runner.SharedEstimates()
 	}
 	if *metricsF != "" {
 		f, err := os.Create(*metricsF)
@@ -136,21 +130,82 @@ func main() {
 			CSV:      strings.HasSuffix(*metricsF, ".csv"),
 		}
 	}
-	results, err := r.Run(jobList)
-	failedCells := false
+
+	// Phase 1: score the whole grid analytically. The baseline suite rides
+	// in the same estimate list so predicted speedups and predicted cell
+	// scores come from one pass.
+	p1Start := time.Now()
+	scores, estSpeedups, err := scoreGrid(r, base, cfgs, specs, *scale)
 	if err != nil {
-		var jerrs runner.JobErrors
-		if !*keepGoing || !errors.As(err, &jerrs) {
-			fail(err)
+		fail(err)
+	}
+	p1Dur := time.Since(p1Start)
+	fmt.Fprintf(os.Stderr, "sweep: phase 1 scored %d cells analytically in %v\n",
+		len(cfgs), p1Dur.Round(time.Microsecond))
+
+	// Select phase 2: the analytic Pareto frontier over (link cost,
+	// predicted speedup) plus the best-scoring remainder up to the budget.
+	costs := make([]float64, len(cfgs))
+	for i := range cfgs {
+		costs[i] = linkVals[i%len(linkVals)]
+	}
+	frontier := paretoFrontier(costs, scores, frontierTol)
+	budget := phase2Budget(len(cfgs), *refine, *p2Frac)
+	simulate := selectCells(scores, frontier, budget)
+	if *anOnly {
+		simulate = nil
+	}
+
+	// Phase 2: one flat job list — baseline suite first, then each selected
+	// cell's suite — through the event engine, honoring the same limits,
+	// fault plan, audit, and metrics settings cmd/experiments applies.
+	var (
+		simSpeedups = map[int][]float64{}
+		failedCells = false
+		p2Dur       time.Duration
+	)
+	if len(simulate) > 0 {
+		var jobList []runner.Job
+		addSuite := func(cfg *config.Config) {
+			for _, s := range specs {
+				jobList = append(jobList, runner.Job{Config: cfg, Spec: s, Scale: *scale})
+			}
 		}
-		failedCells = true
-		for _, je := range jerrs {
-			fmt.Fprintln(os.Stderr, "sweep: warning: cell failed:", je)
+		addSuite(base)
+		for _, ci := range simulate {
+			addSuite(cfgs[ci])
+		}
+		p2Start := time.Now()
+		results, err := r.Run(jobList)
+		p2Dur = time.Since(p2Start)
+		if err != nil {
+			var jerrs runner.JobErrors
+			if !*keepGoing || !errors.As(err, &jerrs) {
+				fail(err)
+			}
+			failedCells = true
+			for _, je := range jerrs {
+				fmt.Fprintln(os.Stderr, "sweep: warning: cell failed:", je)
+			}
+		}
+		n := len(specs)
+		baseRes := results[:n]
+		for k, ci := range simulate {
+			rs := results[(k+1)*n : (k+2)*n]
+			var sp []float64
+			for i := range specs {
+				// A nil result is a failed job in -keep-going mode; skip
+				// the workload for this grid point.
+				if rs[i] == nil || baseRes[i] == nil {
+					continue
+				}
+				sp = append(sp, rs[i].SpeedupOver(baseRes[i]))
+			}
+			simSpeedups[ci] = sp
 		}
 	}
-	n := len(specs)
-	baseRes := results[:n]
-	pointRes := func(i int) []*core.Result { return results[(i+1)*n : (i+2)*n] }
+	fmt.Fprintf(os.Stderr, "sweep: phase 2 simulated %d/%d cells (%.1f%%)\n",
+		len(simulate), len(cfgs), 100*float64(len(simulate))/float64(len(cfgs)))
 
 	out := os.Stdout
 	if *csvOut != "" {
@@ -161,40 +216,253 @@ func main() {
 		defer f.Close()
 		out = f
 	}
-
-	fmt.Fprintf(out, "l15MB\\linkGBps")
-	for _, l := range linkVals {
-		fmt.Fprintf(out, ",%g", l)
+	if !renderGrid(out, l15Vals, linkVals, estSpeedups, simSpeedups) {
+		failedCells = true
 	}
-	fmt.Fprintln(out)
 
-	for row, mb := range l15Vals {
-		fmt.Fprintf(out, "%d", mb)
-		for col := range linkVals {
-			rs := pointRes(row*len(linkVals) + col)
-			var sp []float64
-			for i := range specs {
-				// A nil result is a failed job in -keep-going mode; skip
-				// the workload for this grid point.
-				if rs[i] == nil || baseRes[i] == nil {
-					continue
-				}
-				sp = append(sp, rs[i].SpeedupOver(baseRes[i]))
-			}
-			g, gerr := stats.GeoMean(sp)
-			if gerr != nil || len(sp) == 0 {
-				fmt.Fprintf(out, ",%s", report.ErrCell)
-				failedCells = true
-				continue
-			}
-			fmt.Fprintf(out, ",%.4f", g)
+	if *benchJSON != "" {
+		if err := writeBench(*benchJSON, benchReport{
+			GridCells:      len(cfgs),
+			Workloads:      len(specs),
+			SimulatedCells: len(simulate),
+			AnalyticOnly:   *anOnly,
+			Phase1Seconds:  p1Dur.Seconds(),
+			Phase2Seconds:  p2Dur.Seconds(),
+		}); err != nil {
+			fail(err)
 		}
-		fmt.Fprintln(out)
 	}
 	if failedCells {
 		fmt.Fprintln(os.Stderr, "sweep: completed with failed cells")
 		os.Exit(1)
 	}
+}
+
+// buildGrid builds every grid-point configuration, row-major over
+// (l15, link), so cell index ci maps to row ci/len(links), col ci%len(links).
+func buildGrid(l15Vals []int, linkVals []float64, optimized bool) []*config.Config {
+	var cfgs []*config.Config
+	for _, mb := range l15Vals {
+		for _, link := range linkVals {
+			cfg := config.MCMWithLink(link)
+			if mb > 0 {
+				keep := cfg.Link.GBps
+				cfg = config.WithL15(cfg, mb*config.MB, config.AllocRemoteOnly)
+				cfg.Link.GBps = keep
+			}
+			if optimized {
+				cfg.Scheduler = config.SchedDistributed
+				cfg.Placement = config.PlaceFirstTouch
+			}
+			cfg.Name = fmt.Sprintf("sweep-l15%dMB-link%g", mb, link)
+			cfgs = append(cfgs, cfg)
+		}
+	}
+	return cfgs
+}
+
+// scoreGrid runs the analytic phase: one estimate list covering the
+// baseline suite plus every cell's suite. It returns the per-cell geomean
+// predicted speedup (the phase 2 selection score) and the per-cell
+// per-workload predicted speedups (what -analytic-only and unsimulated
+// cells render).
+func scoreGrid(r *runner.Runner, base *config.Config, cfgs []*config.Config, specs []*workload.Spec, scale float64) ([]float64, [][]float64, error) {
+	var jobList []runner.Job
+	addSuite := func(cfg *config.Config) {
+		for _, s := range specs {
+			jobList = append(jobList, runner.Job{Config: cfg, Spec: s, Scale: scale})
+		}
+	}
+	addSuite(base)
+	for _, cfg := range cfgs {
+		addSuite(cfg)
+	}
+	ests, err := r.Estimates(jobList)
+	if err != nil {
+		return nil, nil, err
+	}
+	n := len(specs)
+	baseEst := ests[:n]
+	scores := make([]float64, len(cfgs))
+	speedups := make([][]float64, len(cfgs))
+	for ci := range cfgs {
+		cell := ests[(ci+1)*n : (ci+2)*n]
+		sp := make([]float64, n)
+		for i := range specs {
+			sp[i] = estSpeedup(cell[i], baseEst[i])
+		}
+		speedups[ci] = sp
+		g, gerr := stats.GeoMean(sp)
+		if gerr != nil {
+			return nil, nil, fmt.Errorf("cell %s: %w", cfgs[ci].Name, gerr)
+		}
+		scores[ci] = g
+	}
+	return scores, speedups, nil
+}
+
+// estSpeedup is the analytic analogue of core.Result.SpeedupOver: predicted
+// baseline cycles over predicted cell cycles.
+func estSpeedup(cell, base *analytic.Estimate) float64 {
+	if cell == nil || base == nil || cell.Cycles <= 0 {
+		return 0
+	}
+	return base.Cycles / cell.Cycles
+}
+
+// frontierTol is the relative score improvement below which a costlier cell
+// does not earn a frontier spot. The paper's own saturation argument
+// motivates it: link bandwidth past the balance point "yields no additional
+// performance", so a sub-1% speedup bump at double the link cost is
+// saturation noise, not a design point. The same tolerance applies to
+// analytic and simulated scores, so the two frontiers are compared like for
+// like.
+const frontierTol = 0.012
+
+// paretoFrontier returns the indices of the staircase Pareto frontier over
+// (minimize cost, maximize score), sorted by ascending cost: a cell is on
+// the frontier iff it beats every cheaper-or-equal cell's score by more
+// than the relative tolerance. Ties keep the lowest index, so the frontier
+// is deterministic for any input order.
+func paretoFrontier(costs, scores []float64, tol float64) []int {
+	idx := make([]int, len(costs))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		if costs[idx[a]] != costs[idx[b]] {
+			return costs[idx[a]] < costs[idx[b]]
+		}
+		return scores[idx[a]] > scores[idx[b]]
+	})
+	var frontier []int
+	best := math.Inf(-1)
+	for k, i := range idx {
+		// Within one cost tier only the best score survives; the sort put
+		// it first in the tier.
+		if k > 0 && costs[idx[k-1]] == costs[i] {
+			continue
+		}
+		if scores[i] > best*(1+tol) {
+			frontier = append(frontier, i)
+			best = scores[i]
+		}
+	}
+	return frontier
+}
+
+// phase2Budget resolves how many cells phase 2 simulates: -refine when
+// given, otherwise ceil(frac*cells), clamped to the grid. The budget is a
+// hard cap — it is how the "engine events for at most this share of the
+// grid" guarantee is kept — so an unusually wide analytic frontier is
+// simulated best-cells-first rather than inflating the budget.
+func phase2Budget(cells, refine int, frac float64) int {
+	budget := int(math.Ceil(frac * float64(cells)))
+	if refine > 0 {
+		budget = refine
+	}
+	if budget > cells {
+		budget = cells
+	}
+	return budget
+}
+
+// selectCells picks the phase 2 cells: frontier cells first (best score
+// first), then the best-scoring remainder, until the budget is spent. The
+// result is sorted by cell index so the phase 2 job list — and therefore
+// the output — is deterministic.
+func selectCells(scores []float64, frontier []int, budget int) []int {
+	onFrontier := map[int]bool{}
+	for _, i := range frontier {
+		onFrontier[i] = true
+	}
+	ranked := append([]int(nil), frontier...)
+	sort.SliceStable(ranked, func(a, b int) bool { return scores[ranked[a]] > scores[ranked[b]] })
+	rest := make([]int, 0, len(scores))
+	for i := range scores {
+		if !onFrontier[i] {
+			rest = append(rest, i)
+		}
+	}
+	sort.SliceStable(rest, func(a, b int) bool { return scores[rest[a]] > scores[rest[b]] })
+	ranked = append(ranked, rest...)
+	if budget < len(ranked) {
+		ranked = ranked[:budget]
+	}
+	out := append([]int(nil), ranked...)
+	sort.Ints(out)
+	return out
+}
+
+// renderGrid writes the CSV. Simulated cells print their measured geomean
+// speedup; estimated-only cells print the predicted one with a "~" prefix;
+// a simulated cell whose every workload failed (-keep-going) prints ERR.
+// Returns false when any cell rendered ERR.
+func renderGrid(out io.Writer, l15Vals []int, linkVals []float64, est [][]float64, sim map[int][]float64) bool {
+	ok := true
+	fmt.Fprintf(out, "l15MB\\linkGBps")
+	for _, l := range linkVals {
+		fmt.Fprintf(out, ",%g", l)
+	}
+	fmt.Fprintln(out)
+	for row, mb := range l15Vals {
+		fmt.Fprintf(out, "%d", mb)
+		for col := range linkVals {
+			ci := row*len(linkVals) + col
+			if sp, simulated := sim[ci]; simulated {
+				g, gerr := stats.GeoMean(sp)
+				if gerr != nil || len(sp) == 0 {
+					fmt.Fprintf(out, ",%s", report.ErrCell)
+					ok = false
+					continue
+				}
+				fmt.Fprintf(out, ",%.4f", g)
+				continue
+			}
+			g, gerr := stats.GeoMean(est[ci])
+			if gerr != nil {
+				fmt.Fprintf(out, ",%s", report.ErrCell)
+				ok = false
+				continue
+			}
+			fmt.Fprintf(out, ",~%.4f", g)
+		}
+		fmt.Fprintln(out)
+	}
+	return ok
+}
+
+// benchReport is the -bench-json payload: enough to recompute the
+// analytic-vs-cycle-level throughput ratio the fast path exists for.
+type benchReport struct {
+	GridCells      int     `json:"grid_cells"`
+	Workloads      int     `json:"workloads"`
+	SimulatedCells int     `json:"simulated_cells"`
+	AnalyticOnly   bool    `json:"analytic_only"`
+	Phase1Seconds  float64 `json:"phase1_seconds"`
+	Phase2Seconds  float64 `json:"phase2_seconds"`
+	// Derived rates, cells per second; ThroughputRatio is analytic over
+	// cycle-level (0 when phase 2 did not run).
+	AnalyticCellsPerSec float64 `json:"analytic_cells_per_sec"`
+	SimCellsPerSec      float64 `json:"sim_cells_per_sec"`
+	ThroughputRatio     float64 `json:"throughput_ratio"`
+}
+
+func writeBench(path string, b benchReport) error {
+	if b.Phase1Seconds > 0 {
+		b.AnalyticCellsPerSec = float64(b.GridCells) / b.Phase1Seconds
+	}
+	if b.Phase2Seconds > 0 && b.SimulatedCells > 0 {
+		b.SimCellsPerSec = float64(b.SimulatedCells) / b.Phase2Seconds
+		if b.SimCellsPerSec > 0 {
+			b.ThroughputRatio = b.AnalyticCellsPerSec / b.SimCellsPerSec
+		}
+	}
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 func selectWorkloads(sel string) ([]*workload.Spec, error) {

@@ -15,7 +15,10 @@
 // settings below expose NUMA throttling on the remote share of traffic.
 package analytic
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
 
 // Model holds the parameters of the Section 3.3.1 estimate.
 type Model struct {
@@ -31,12 +34,38 @@ func PaperExample() Model {
 	return Model{Modules: 4, PartitionGBps: 768, L2HitRate: 0.5, RemoteFraction: -1}
 }
 
-// remoteFraction resolves the remote traffic fraction.
-func (m Model) remoteFraction() float64 {
+// ResolvedRemoteFraction resolves the remote traffic fraction the model
+// actually uses: RemoteFraction when set explicitly, the uniform (G-1)/G
+// otherwise. Exported so CLIs and reports render the same value the model
+// computes with instead of re-deriving it by hand.
+func (m Model) ResolvedRemoteFraction() float64 {
 	if m.RemoteFraction >= 0 {
 		return m.RemoteFraction
 	}
 	return float64(m.Modules-1) / float64(m.Modules)
+}
+
+// finite reports whether v is a usable number (not NaN, not ±Inf),
+// mirroring config.Validate's finitePositive hardening.
+func finite(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0)
+}
+
+// Validate checks the model's parameters and returns a descriptive error
+// for the first problem found, in the style of config.Validate: a model
+// that validates can be evaluated without producing NaN/Inf estimates.
+func (m Model) Validate() error {
+	switch {
+	case m.Modules < 1:
+		return fmt.Errorf("analytic: Modules = %d, must be >= 1", m.Modules)
+	case !finite(m.PartitionGBps) || m.PartitionGBps <= 0:
+		return fmt.Errorf("analytic: PartitionGBps = %v, must be positive and finite", m.PartitionGBps)
+	case !finite(m.L2HitRate) || m.L2HitRate < 0 || m.L2HitRate >= 1:
+		return fmt.Errorf("analytic: L2HitRate = %v, must be in [0,1)", m.L2HitRate)
+	case !finite(m.RemoteFraction) || m.RemoteFraction > 1:
+		return fmt.Errorf("analytic: RemoteFraction = %v, must be <= 1 and finite (< 0 selects uniform (G-1)/G)", m.RemoteFraction)
+	}
+	return nil
 }
 
 // AggregateDRAMGBps returns G*b, the machine's total DRAM bandwidth.
@@ -59,7 +88,7 @@ func (m Model) DeliveredPerPartitionGBps() float64 {
 // under the uniform-distribution scenario: the remote share of everything
 // the partitions deliver.
 func (m Model) TotalInterGPMGBps() float64 {
-	return m.DeliveredPerPartitionGBps() * float64(m.Modules) * m.remoteFraction()
+	return m.DeliveredPerPartitionGBps() * float64(m.Modules) * m.ResolvedRemoteFraction()
 }
 
 // RequiredLinkGBps returns the per-GPM link bandwidth needed so on-package
@@ -78,12 +107,12 @@ func (m Model) Slowdown(linkGBps float64) float64 {
 	if need <= 0 || linkGBps >= need {
 		return 1
 	}
-	rf := m.remoteFraction()
+	rf := m.ResolvedRemoteFraction()
 	return (1 - rf) + rf*(linkGBps/need)
 }
 
 // String renders the model parameters and its conclusion.
 func (m Model) String() string {
 	return fmt.Sprintf("G=%d b=%.0fGB/s h=%.2f remote=%.2f -> need %.0f GB/s per link",
-		m.Modules, m.PartitionGBps, m.L2HitRate, m.remoteFraction(), m.RequiredLinkGBps())
+		m.Modules, m.PartitionGBps, m.L2HitRate, m.ResolvedRemoteFraction(), m.RequiredLinkGBps())
 }

@@ -21,7 +21,7 @@ func TestPaperExample(t *testing.T) {
 		t.Errorf("aggregate DRAM = %v, want 3072", got)
 	}
 	// Uniform remote fraction is 3/4 for 4 GPMs.
-	if got := m.remoteFraction(); got != 0.75 {
+	if got := m.ResolvedRemoteFraction(); got != 0.75 {
 		t.Errorf("remote fraction = %v, want 0.75", got)
 	}
 }
@@ -53,7 +53,7 @@ func TestSlowdownShape(t *testing.T) {
 func TestRemoteFractionOverride(t *testing.T) {
 	m := PaperExample()
 	m.RemoteFraction = 0.1 // e.g. after first-touch placement
-	if got := m.remoteFraction(); got != 0.1 {
+	if got := m.ResolvedRemoteFraction(); got != 0.1 {
 		t.Fatalf("override ignored: %v", got)
 	}
 	// With 10% remote traffic, a 768 GB/s link costs little.

@@ -215,6 +215,43 @@ func (c *Config) TotalL15Bytes() int {
 	return c.Modules * c.L15.SizeBytes
 }
 
+// TotalIssuePerCycle returns the machine-wide instruction issue bandwidth
+// in warp instructions per cycle — the compute roofline.
+func (c *Config) TotalIssuePerCycle() float64 {
+	return float64(c.TotalSMs()) * c.IssuePerSM
+}
+
+// TotalXbarGBps returns the aggregate on-module fabric bandwidth across all
+// modules (bytes/cycle at 1 GHz).
+func (c *Config) TotalXbarGBps() float64 {
+	return float64(c.Modules) * c.XbarGBps
+}
+
+// TotalL2BankGBps returns the aggregate memory-side L2 bank bandwidth
+// across all partitions (bytes/cycle at 1 GHz).
+func (c *Config) TotalL2BankGBps() float64 {
+	return c.TotalDRAMGBps() * c.L2BWMult
+}
+
+// LinesPerPage returns how many cache lines one page holds. The ratio of
+// page size to a CTA's region decides how much of first-touch placement's
+// benefit page-granularity false sharing destroys, so the analytic
+// estimator needs it as much as the address map does.
+func (c *Config) LinesPerPage() int { return c.PageBytes / LineBytes }
+
+// CTAsPerSM returns how many CTAs of the given warp count one SM can hold
+// concurrently, honoring both the warp-residency and CTA-residency caps.
+func (c *Config) CTAsPerSM(warpsPerCTA int) int {
+	if warpsPerCTA <= 0 {
+		warpsPerCTA = 1
+	}
+	byWarps := c.WarpsPerSM / warpsPerCTA
+	if c.MaxCTAsPerSM > 0 && c.MaxCTAsPerSM < byWarps {
+		return c.MaxCTAsPerSM
+	}
+	return byWarps
+}
+
 // finitePositive reports whether v is a usable positive rate: NaN compares
 // false against everything (so a plain v <= 0 check lets it through), and
 // +Inf passes v > 0 but poisons every downstream timing computation.

@@ -119,7 +119,7 @@ func (m *Machine) startLoad(wc *warpCtx, line uint64) {
 			wc.loadComplete(t + engine.Cycle(cfg.L15.HitLatency))
 			return
 		}
-		t += l15MissPenalty
+		t += L15MissPenalty
 	}
 
 	if remote {

@@ -208,7 +208,7 @@ func TestAuditKernelIterations(t *testing.T) {
 	se := wantSimError(t, err, KindInvariant)
 	// l2-flow is boundary-only, so the catch lands at the first kernel's
 	// boundary — well before a 3-kernel run would otherwise end.
-	if uint64(se.Clock) > firstKernel.Cycles+kernelGapCycles {
+	if uint64(se.Clock) > firstKernel.Cycles+KernelGapCycles {
 		t.Errorf("violation surfaced at cycle %d, after the first kernel boundary (~%d)",
 			se.Clock, firstKernel.Cycles)
 	}

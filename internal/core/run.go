@@ -98,7 +98,7 @@ func (m *Machine) RunWith(spec *workload.Spec, opts RunOptions) (*Result, error)
 	for iter := 0; iter < spec.KernelIters; iter++ {
 		if iter > 0 {
 			// Kernel launch overhead between convergence-loop iterations.
-			m.sim.RunUntil(m.sim.Now() + kernelGapCycles)
+			m.sim.RunUntil(m.sim.Now() + KernelGapCycles)
 			if err := m.sim.StopErr(); err != nil {
 				return nil, err
 			}
@@ -243,7 +243,7 @@ func (wc *warpCtx) memWrite() {
 		m.startStore(s, wc.op.Lines[wc.lineIdx])
 		wc.lineIdx++
 	}
-	m.sim.AfterEvent(storeAckCycles, wc, evWarpStep)
+	m.sim.AfterEvent(StoreAckCycles, wc, evWarpStep)
 }
 
 // ctaDone retires a CTA and immediately pulls the next CTA for the freed

@@ -39,6 +39,12 @@ type Network struct {
 	meshW, meshH             int
 	east, west, north, south []*engine.Resource
 
+	// aggGBps accumulates the bandwidth of every unidirectional link as it
+	// is built, so the analytic estimator's link roofline (wire bytes over
+	// aggregate link capacity) derives from the same construction as the
+	// simulated links instead of re-deriving per-topology link counts.
+	aggGBps float64
+
 	totalBytes uint64
 	messages   uint64
 }
@@ -78,12 +84,12 @@ func New(cfg *config.Config) *Network {
 		perDir := cfg.Link.GBps / 2
 		n.cw = make([]*engine.Resource, cfg.Modules)
 		for i := range n.cw {
-			n.cw[i] = engine.NewResource(fmt.Sprintf("ring-cw-%d", i), perDir)
+			n.cw[i] = n.newLink(fmt.Sprintf("ring-cw-%d", i), perDir)
 		}
 		if cfg.Modules > 2 {
 			n.ccw = make([]*engine.Resource, cfg.Modules)
 			for i := range n.ccw {
-				n.ccw[i] = engine.NewResource(fmt.Sprintf("ring-ccw-%d", i), perDir)
+				n.ccw[i] = n.newLink(fmt.Sprintf("ring-ccw-%d", i), perDir)
 			}
 		}
 	case config.TopoCrossbar:
@@ -96,7 +102,7 @@ func New(cfg *config.Config) *Network {
 			n.xbar[i] = make([]*engine.Resource, cfg.Modules)
 			for j := range n.xbar[i] {
 				if i != j {
-					n.xbar[i][j] = engine.NewResource(fmt.Sprintf("xbar-%d-%d", i, j), perPair)
+					n.xbar[i][j] = n.newLink(fmt.Sprintf("xbar-%d-%d", i, j), perPair)
 				}
 			}
 		}
@@ -113,12 +119,12 @@ func New(cfg *config.Config) *Network {
 		for i := 0; i < cfg.Modules; i++ {
 			x, y := i%w, i/w
 			if x+1 < w {
-				n.east[i] = engine.NewResource(fmt.Sprintf("mesh-e-%d", i), perDir)
-				n.west[i+1] = engine.NewResource(fmt.Sprintf("mesh-w-%d", i+1), perDir)
+				n.east[i] = n.newLink(fmt.Sprintf("mesh-e-%d", i), perDir)
+				n.west[i+1] = n.newLink(fmt.Sprintf("mesh-w-%d", i+1), perDir)
 			}
 			if y+1 < h {
-				n.south[i] = engine.NewResource(fmt.Sprintf("mesh-s-%d", i), perDir)
-				n.north[i+w] = engine.NewResource(fmt.Sprintf("mesh-n-%d", i+w), perDir)
+				n.south[i] = n.newLink(fmt.Sprintf("mesh-s-%d", i), perDir)
+				n.north[i+w] = n.newLink(fmt.Sprintf("mesh-n-%d", i+w), perDir)
 			}
 		}
 	default:
@@ -127,8 +133,42 @@ func New(cfg *config.Config) *Network {
 	return n
 }
 
+// newLink builds one unidirectional link resource and accounts its
+// bandwidth toward the network's aggregate capacity.
+func (n *Network) newLink(name string, gbps float64) *engine.Resource {
+	n.aggGBps += gbps
+	return engine.NewResource(name, gbps)
+}
+
 // Nodes returns the number of modules on the network.
 func (n *Network) Nodes() int { return n.nodes }
+
+// AggregateGBps returns the summed bandwidth of every unidirectional link
+// (bytes/cycle at 1 GHz). Dividing total wire bytes (TotalBytes' quantity,
+// which counts a byte once per link traversed) by this is the network-wide
+// bandwidth roofline the analytic estimator uses: it automatically accounts
+// for multi-hop messages consuming capacity on every intermediate link.
+func (n *Network) AggregateGBps() float64 { return n.aggGBps }
+
+// MeanHops returns the mean link count of a message between two distinct
+// uniformly chosen modules, following the same min-hop routes Send takes.
+// Single-module networks return 0.
+func (n *Network) MeanHops() float64 {
+	if n.nodes <= 1 || n.topo == config.TopoNone {
+		return 0
+	}
+	var sum, pairs float64
+	for s := 0; s < n.nodes; s++ {
+		for d := 0; d < n.nodes; d++ {
+			if s == d {
+				continue
+			}
+			sum += float64(n.Hops(s, d))
+			pairs++
+		}
+	}
+	return sum / pairs
+}
 
 // Hops returns the number of links a message from src to dst traverses.
 func (n *Network) Hops(src, dst int) int {

@@ -139,6 +139,11 @@ type Runner struct {
 	Workers int
 	// Cache, when non-nil, memoizes results across Run calls.
 	Cache *Cache
+	// EstCache, when non-nil, memoizes closed-form estimates across
+	// Estimates calls (see estimate.go). Predictions and simulation results
+	// never share a cache: the estimate cache is typed to *analytic.Estimate
+	// and keys under an "est|" prefix.
+	EstCache *EstCache
 	// FailFast stops claiming new jobs after the first failure. When false
 	// (the default), every job runs and Run returns partial results plus a
 	// JobErrors aggregate — one pathological cell degrades to an error

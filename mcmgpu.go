@@ -40,6 +40,13 @@ type (
 	Table = report.Table
 	// AnalyticModel is the Section 3.3.1 closed-form bandwidth model.
 	AnalyticModel = analytic.Model
+	// Estimate is one closed-form performance prediction: cycles, IPC,
+	// per-level hit rates, inter-module traffic and DRAM demand for a
+	// (config, workload) pair — the fast path cmd/sweep scores grids with.
+	Estimate = analytic.Estimate
+	// Estimator evaluates Estimates against one configuration; build with
+	// NewEstimator.
+	Estimator = analytic.Estimator
 	// RunOptions bounds one run: context, event/cycle budgets, wall
 	// deadline, fault plan. The zero value imposes no limits.
 	RunOptions = core.RunOptions
@@ -175,6 +182,23 @@ func Speedup(base, sys *Result) float64 {
 
 // PaperAnalyticExample returns the Section 3.3.1 example model.
 func PaperAnalyticExample() AnalyticModel { return analytic.PaperExample() }
+
+// NewEstimator builds the closed-form performance estimator for cfg. The
+// estimator is pure and safe for concurrent use; it predicts in
+// microseconds what RunScaled measures in seconds, within the error and
+// rank budgets TestAnalyticValidation enforces.
+var NewEstimator = analytic.NewEstimator
+
+// EstimateScaled predicts one workload's performance on cfg at the given
+// scale without running the event engine — the one-shot form of
+// NewEstimator for callers that do not amortize estimator construction.
+func EstimateScaled(cfg *Config, spec *Spec, scale float64) (*Estimate, error) {
+	e, err := analytic.NewEstimator(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return e.Estimate(spec, scale)
+}
 
 // CacheStats reports run-cache effectiveness; see RunCacheStats.
 type CacheStats = runner.Stats

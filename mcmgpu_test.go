@@ -86,6 +86,33 @@ func TestAnalyticExample(t *testing.T) {
 	}
 }
 
+func TestEstimateScaledFacade(t *testing.T) {
+	cfg := OptimizedMCM()
+	spec := MustWorkload("GEMM")
+	est, err := EstimateScaled(cfg, spec, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.IPC <= 0 || est.Cycles <= 0 {
+		t.Fatalf("degenerate estimate: %+v", est)
+	}
+	// The one-shot form matches a reused Estimator.
+	e, err := NewEstimator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := e.Estimate(spec, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *again != *est {
+		t.Fatalf("one-shot and reused estimator disagree:\n%+v\n%+v", est, again)
+	}
+	if _, err := EstimateScaled(&Config{}, spec, 0.05); err == nil {
+		t.Fatal("zero config: want error")
+	}
+}
+
 func TestOptionsDefaults(t *testing.T) {
 	var o Options
 	if o.scale() != 1 {
