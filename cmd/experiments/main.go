@@ -20,6 +20,7 @@ import (
 
 	"mcmgpu"
 	"mcmgpu/internal/faultinject"
+	"mcmgpu/internal/metricstream"
 	"mcmgpu/internal/prof"
 	"mcmgpu/internal/report"
 )
@@ -76,7 +77,7 @@ func main() {
 		keepGoing = flag.Bool("keep-going", false, "render failed cells as ERR instead of aborting; exit 1 at the end if any failed")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf   = flag.String("memprofile", "", "write an allocation profile to this file on exit")
-		metricsF  = flag.String("metrics", "", "stream per-interval time-series samples of every simulation to this file (NDJSON, or CSV when the path ends in .csv)")
+		metricsF  = flag.String("metrics", "", "stream per-interval time-series samples of every simulation to this file (NDJSON, or CSV when the path ends in .csv; a .gz suffix gzips either)")
 		metricsIv = flag.Uint64("metrics-interval", 0, "sampling interval in cycles for -metrics (0 = default)")
 	)
 	flag.Parse()
@@ -125,7 +126,7 @@ func main() {
 		opt.Deadline = time.Now().Add(*timeout)
 	}
 	if *metricsF != "" {
-		f, err := os.Create(*metricsF)
+		f, mcsv, err := metricstream.CreateOutput(*metricsF)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
 			os.Exit(1)
@@ -139,7 +140,7 @@ func main() {
 		opt.Metrics = &mcmgpu.MetricsOptions{
 			Interval: *metricsIv,
 			W:        f,
-			CSV:      strings.HasSuffix(*metricsF, ".csv"),
+			CSV:      mcsv,
 		}
 	}
 	// Warnings go to stderr (deduplicated) so the table output on stdout

@@ -24,6 +24,7 @@ import (
 	"mcmgpu/internal/engine"
 	"mcmgpu/internal/faultinject"
 	"mcmgpu/internal/metrics"
+	"mcmgpu/internal/metricstream"
 	"mcmgpu/internal/prof"
 	"mcmgpu/internal/report"
 	"mcmgpu/internal/trace"
@@ -62,7 +63,7 @@ func main() {
 		auditOn   = flag.Bool("audit", false, "check simulation invariants (conservation laws) during every run; MCMGPU_AUDIT=1 forces this on")
 		keepGoing = flag.Bool("keep-going", false, "continue to the next workload after a failed run; exit 1 at the end")
 
-		metricsF  = flag.String("metrics", "", "stream per-interval time-series samples to this file (NDJSON, or CSV when the path ends in .csv)")
+		metricsF  = flag.String("metrics", "", "stream per-interval time-series samples to this file (NDJSON, or CSV when the path ends in .csv; a .gz suffix gzips either)")
 		metricsIv = flag.Uint64("metrics-interval", uint64(metrics.DefaultInterval), "sampling interval in cycles for -metrics")
 	)
 	flag.Parse()
@@ -151,7 +152,7 @@ func main() {
 	// own config/workload labels, so the streams concatenate cleanly.
 	var rec *metrics.Recorder
 	if *metricsF != "" {
-		f, err := os.Create(*metricsF)
+		f, csv, err := metricstream.CreateOutput(*metricsF)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "mcmsim:", err)
 			os.Exit(1)
@@ -162,7 +163,7 @@ func main() {
 				os.Exit(1)
 			}
 		}()
-		rec = metrics.NewRecorder(f, engine.Cycle(*metricsIv), strings.HasSuffix(*metricsF, ".csv"))
+		rec = metrics.NewRecorder(f, engine.Cycle(*metricsIv), csv)
 		ropts.Metrics = rec
 	}
 

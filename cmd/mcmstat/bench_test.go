@@ -1,0 +1,99 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mcmgpu/internal/metricstream"
+)
+
+// benchLines loads a generated stream and splits it into lines for the
+// hot-path benchmark and allocation test.
+func benchLines(t testing.TB, csv bool) ([][]byte, int64) {
+	t.Helper()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bench.stream")
+	genStream(t, path, csv, 6, 120)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lines [][]byte
+	for _, l := range bytes.Split(raw, []byte("\n")) {
+		if len(l) > 0 {
+			lines = append(lines, l)
+		}
+	}
+	return lines, int64(len(raw))
+}
+
+// TestScanAggregateAllocs pins the steady-state hot path — parse + key
+// build + open-addressing aggregate — at ~0 allocations per line.
+func TestScanAggregateAllocs(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		csv  bool
+	}{{"ndjson", false}, {"csv", true}} {
+		t.Run(tc.name, func(t *testing.T) {
+			lines, _ := benchLines(t, tc.csv)
+			format := metricstream.FormatNDJSON
+			if tc.csv {
+				format = metricstream.FormatCSV
+			}
+			dims := []int{dimConfig, dimWorkload, dimKind, dimName}
+			c := newAggCtx(dims, recBoth, modeReservoir, 64, 1<<40, nil)
+			feed := func(n int) {
+				off := int64(0)
+				for i := 0; i < n; i++ {
+					l := lines[i%len(lines)]
+					if err := c.line(l, format, off, 0); err != nil {
+						t.Fatal(err)
+					}
+					off += int64(len(l)) + 1
+				}
+			}
+			feed(4 * len(lines)) // warm: tables grown, reservoirs filled
+			per := testing.AllocsPerRun(200, func() { feed(len(lines)) })
+			perLine := per / float64(len(lines))
+			if perLine > 0.05 {
+				t.Fatalf("aggregate path allocates %.3f allocs/line (want ~0)", perLine)
+			}
+		})
+	}
+}
+
+// BenchmarkScanAggregate measures single-context aggregation throughput in
+// flat rows per second (the ISSUE gate tracks this on a 1M-row stream in CI).
+func BenchmarkScanAggregate(b *testing.B) {
+	for _, tc := range []struct {
+		name string
+		csv  bool
+	}{{"ndjson", false}, {"csv", true}} {
+		b.Run(tc.name, func(b *testing.B) {
+			lines, size := benchLines(b, tc.csv)
+			format := metricstream.FormatNDJSON
+			if tc.csv {
+				format = metricstream.FormatCSV
+			}
+			dims := []int{dimConfig, dimWorkload, dimKind, dimName}
+			c := newAggCtx(dims, recBoth, modeReservoir, 4096, 1<<40, nil)
+			b.SetBytes(size / int64(len(lines)))
+			b.ResetTimer()
+			off := int64(0)
+			for i := 0; i < b.N; i++ {
+				l := lines[i%len(lines)]
+				if err := c.line(l, format, off, 0); err != nil {
+					b.Fatal(err)
+				}
+				off += int64(len(l)) + 1
+			}
+			b.StopTimer()
+			rows := float64(c.rows)
+			if rows > 0 {
+				b.ReportMetric(rows/b.Elapsed().Seconds(), "rows/s")
+			}
+		})
+	}
+}

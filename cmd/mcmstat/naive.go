@@ -1,0 +1,302 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"compress/gzip"
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+
+	"mcmgpu/internal/metricstream"
+)
+
+// The -naive path is a deliberately independent reference implementation:
+// encoding/json and encoding/csv for parsing, a plain Go map for grouping,
+// a line-at-a-time reader for scanning. It shares only the stats
+// primitives, key encoding, and output rendering with the fast path, so a
+// byte-identical diff between the two modes cross-checks the zero-alloc
+// parser, the chunk-parallel scanner, and the external sort-merge at once.
+
+type naiveResource struct {
+	Name  string  `json:"name"`
+	Kind  string  `json:"kind"`
+	GPM   int     `json:"gpm"`
+	Busy  float64 `json:"busy"`
+	Units uint64  `json:"units"`
+	Util  float64 `json:"util"`
+}
+
+type naiveCache struct {
+	Level  string `json:"level"`
+	GPM    int    `json:"gpm"`
+	Hits   uint64 `json:"hits"`
+	Misses uint64 `json:"misses"`
+}
+
+type naiveRecord struct {
+	Type      string          `json:"type"`
+	Config    string          `json:"config"`
+	Workload  string          `json:"workload"`
+	Seq       int             `json:"seq"`
+	Kernel    int             `json:"kernel"`
+	Start     uint64          `json:"start"`
+	End       uint64          `json:"end"`
+	Events    uint64          `json:"events"`
+	LiveCTAs  int             `json:"liveCTAs"`
+	Loads     int             `json:"loads"`
+	Stores    int             `json:"stores"`
+	Resources []naiveResource `json:"resources"`
+	Caches    []naiveCache    `json:"caches"`
+}
+
+// naiveAgg aggregates with a plain map keyed by the same encoded key bytes
+// as the fast path (as strings), using the same stats primitives and the
+// same observation tags.
+type naiveAgg struct {
+	opts   *options
+	groups map[string]*groupAgg
+	rows   int64
+}
+
+func runNaive(opts *options, inputs []*input, out *bufio.Writer) (int64, error) {
+	na := &naiveAgg{opts: opts, groups: map[string]*groupAgg{}}
+	for _, in := range inputs {
+		if err := na.scanInput(in); err != nil {
+			return na.rows, err
+		}
+	}
+	keys := make([]string, 0, len(na.groups))
+	for k := range na.groups {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys) // byte order, same as the fast path's key sort
+	writeHeader(out, opts.dims)
+	var scratch []float64
+	for _, k := range keys {
+		scratch = emitGroup(out, opts.dims, opts.mode, []byte(k), na.groups[k], scratch)
+	}
+	return na.rows, nil
+}
+
+func (na *naiveAgg) scanInput(in *input) error {
+	var r io.Reader = bufio.NewReaderSize(in.f, 256<<10)
+	if magic, _ := r.(*bufio.Reader).Peek(2); string(magic) == "\x1f\x8b" {
+		gz, err := gzip.NewReader(r)
+		if err != nil {
+			return fmt.Errorf("%s: %w", in.path, err)
+		}
+		r = gz
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 64<<20)
+	sc.Split(func(data []byte, atEOF bool) (int, []byte, error) {
+		if j := bytes.IndexByte(data, '\n'); j >= 0 {
+			return j + 1, data[:j], nil
+		}
+		if atEOF && len(data) > 0 {
+			return len(data), data, nil
+		}
+		return 0, nil, nil
+	})
+	format := in.format
+	var off int64
+	for sc.Scan() {
+		line := sc.Bytes()
+		lineOff := off
+		off += int64(len(line)) + 1
+		if len(line) == 0 {
+			continue
+		}
+		if format == metricstream.FormatAuto {
+			if line[0] == '{' {
+				format = metricstream.FormatNDJSON
+			} else {
+				format = metricstream.FormatCSV
+			}
+		}
+		var err error
+		if format == metricstream.FormatNDJSON {
+			err = na.ndjsonLine(line, lineOff, in.base)
+		} else {
+			err = na.csvLine(line, lineOff, in.base)
+		}
+		if err != nil {
+			return fmt.Errorf("%s: offset %d: %w", in.path, lineOff, err)
+		}
+	}
+	return sc.Err()
+}
+
+func (na *naiveAgg) add(key string, o observation) {
+	g := na.groups[key]
+	if g == nil {
+		g = &groupAgg{}
+		na.groups[key] = g
+	}
+	g.add(na.opts.mode, na.opts.k, o)
+	na.rows++
+}
+
+// naiveKey builds the same encoded key bytes as the fast path.
+func naiveKey(dims []int, config, workload string, kernel, gpm int, kind, name string, metric byte) string {
+	var b []byte
+	for _, d := range dims {
+		switch d {
+		case dimConfig:
+			b = append(b, config...)
+		case dimWorkload:
+			b = append(b, workload...)
+		case dimKernel:
+			b = appendPadded(b, kernel)
+		case dimGPM:
+			b = appendPadded(b, gpm)
+		case dimKind:
+			b = append(b, kind...)
+		case dimName:
+			b = append(b, name...)
+		}
+		b = append(b, keySep)
+	}
+	return string(append(b, metric))
+}
+
+func (na *naiveAgg) keep(typ string) bool {
+	switch na.opts.filter {
+	case recSamples:
+		return typ == "sample"
+	case recKernels:
+		return typ == "kernel"
+	}
+	return true
+}
+
+func (na *naiveAgg) ndjsonLine(line []byte, lineOff int64, base uint64) error {
+	var rec naiveRecord
+	if err := json.Unmarshal(line, &rec); err != nil {
+		return err
+	}
+	if rec.Type != "sample" && rec.Type != "kernel" {
+		return fmt.Errorf("unknown record type %q", rec.Type)
+	}
+	if !na.keep(rec.Type) {
+		return nil
+	}
+	sub := uint64(0)
+	for _, r := range rec.Resources {
+		key := naiveKey(na.opts.dims, rec.Config, rec.Workload, rec.Kernel, r.GPM, r.Kind, r.Name, metricUtil)
+		na.add(key, observation{
+			tag:   base | (uint64(lineOff) + sub),
+			v:     r.Util,
+			busy:  r.Busy,
+			units: r.Units,
+		})
+		sub++
+	}
+	for _, c := range rec.Caches {
+		key := naiveKey(na.opts.dims, rec.Config, rec.Workload, rec.Kernel, c.GPM, "cache", c.Level, metricHitrate)
+		na.add(key, observation{
+			tag:    base | (uint64(lineOff) + sub),
+			v:      hitrate(c.Hits, c.Misses),
+			hits:   c.Hits,
+			misses: c.Misses,
+		})
+		sub++
+	}
+	return nil
+}
+
+func naiveInt(s string) (int, error) {
+	if s == "" {
+		return 0, nil
+	}
+	v, err := strconv.ParseInt(s, 10, 64)
+	return int(v), err
+}
+
+func naiveUint(s string) (uint64, error) {
+	if s == "" {
+		return 0, nil
+	}
+	return strconv.ParseUint(s, 10, 64)
+}
+
+func naiveFloat(s string) (float64, error) {
+	if s == "" {
+		return 0, nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+func (na *naiveAgg) csvLine(line []byte, lineOff int64, base uint64) error {
+	if bytes.HasPrefix(line, []byte("type,")) {
+		return nil // header
+	}
+	cr := csv.NewReader(bytes.NewReader(line))
+	fields, err := cr.Read()
+	if err != nil {
+		return err
+	}
+	if len(fields) != 19 {
+		return fmt.Errorf("row has %d columns, want 19", len(fields))
+	}
+	typ := fields[0]
+	if typ != "sample" && typ != "kernel" {
+		return fmt.Errorf("unknown record type %q", typ)
+	}
+	if !na.keep(typ) {
+		return nil
+	}
+	config, workload := fields[1], fields[2]
+	kernel, err := naiveInt(fields[4])
+	if err != nil {
+		return err
+	}
+	kind := fields[11]
+	gpm, err := naiveInt(fields[12])
+	if err != nil {
+		return err
+	}
+	name := fields[13]
+	if kind == "cache" {
+		hits, err := naiveUint(fields[17])
+		if err != nil {
+			return err
+		}
+		misses, err := naiveUint(fields[18])
+		if err != nil {
+			return err
+		}
+		key := naiveKey(na.opts.dims, config, workload, kernel, gpm, kind, name, metricHitrate)
+		na.add(key, observation{
+			tag:    base | uint64(lineOff),
+			v:      hitrate(hits, misses),
+			hits:   hits,
+			misses: misses,
+		})
+		return nil
+	}
+	busy, err := naiveFloat(fields[14])
+	if err != nil {
+		return err
+	}
+	units, err := naiveUint(fields[15])
+	if err != nil {
+		return err
+	}
+	util, err := naiveFloat(fields[16])
+	if err != nil {
+		return err
+	}
+	key := naiveKey(na.opts.dims, config, workload, kernel, gpm, kind, name, metricUtil)
+	na.add(key, observation{
+		tag:   base | uint64(lineOff),
+		v:     util,
+		busy:  busy,
+		units: units,
+	})
+	return nil
+}

@@ -45,6 +45,7 @@ import (
 	"mcmgpu/internal/config"
 	"mcmgpu/internal/core"
 	"mcmgpu/internal/faultinject"
+	"mcmgpu/internal/metricstream"
 	"mcmgpu/internal/report"
 	"mcmgpu/internal/runner"
 	"mcmgpu/internal/stats"
@@ -65,7 +66,7 @@ func main() {
 		maxEvents = flag.Uint64("max-events", 0, "per-simulation event budget (0 = none)")
 		auditOn   = flag.Bool("audit", false, "check simulation invariants (conservation laws) during every job; MCMGPU_AUDIT=1 forces this on")
 		keepGoing = flag.Bool("keep-going", false, "render failed grid cells as ERR instead of aborting; exit 1 at the end if any failed")
-		metricsF  = flag.String("metrics", "", "stream per-interval time-series samples of every simulation to this file (NDJSON, or CSV when the path ends in .csv)")
+		metricsF  = flag.String("metrics", "", "stream per-interval time-series samples of every simulation to this file (NDJSON, or CSV when the path ends in .csv; a .gz suffix gzips either)")
 		metricsIv = flag.Uint64("metrics-interval", 0, "sampling interval in cycles for -metrics (0 = default)")
 		anOnly    = flag.Bool("analytic-only", false, "phase 1 only: score the whole grid analytically, run no simulations")
 		refine    = flag.Int("refine", 0, "number of cells to re-simulate in phase 2 (0 = use -phase2-frac); frontier cells are simulated first")
@@ -115,7 +116,7 @@ func main() {
 		r.EstCache = runner.SharedEstimates()
 	}
 	if *metricsF != "" {
-		f, err := os.Create(*metricsF)
+		f, csv, err := metricstream.CreateOutput(*metricsF)
 		if err != nil {
 			fail(err)
 		}
@@ -127,7 +128,7 @@ func main() {
 		r.Metrics = &runner.MetricsOptions{
 			Interval: *metricsIv,
 			W:        f,
-			CSV:      strings.HasSuffix(*metricsF, ".csv"),
+			CSV:      csv,
 		}
 	}
 

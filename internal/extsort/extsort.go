@@ -1,0 +1,294 @@
+// Package extsort sorts arbitrarily many variable-length []byte records
+// under a fixed memory bound: records accumulate in one flat in-memory
+// buffer, spill to sorted temp-file runs (uvarint length-framed) when the
+// bound is hit, and stream back merged through a loser-free k-way heap.
+//
+// mcmstat's group-by rides on it: when the distinct-group table outgrows
+// -mem, each (encoded key, serialized aggregate) pair becomes a record
+// here, and because the aggregate merge operations are commutative the
+// run partitioning never affects the merged result.
+package extsort
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// Compare orders two records. It must be a total order on record bytes;
+// equal records are yielded in insertion order (stable).
+type Compare func(a, b []byte) int
+
+// recOff locates one record inside the Sorter's flat buffer.
+type recOff struct {
+	off, n int
+}
+
+// recOverhead approximates the bookkeeping bytes per buffered record when
+// checking the memory bound.
+const recOverhead = 16
+
+// Sorter accumulates records and spills sorted runs once buffered bytes
+// exceed the memory limit.
+type Sorter struct {
+	dir   string
+	limit int
+	cmp   Compare
+
+	buf  []byte
+	offs []recOff
+	runs []*os.File
+
+	spillBuf *bufio.Writer
+	varint   [binary.MaxVarintLen64]byte
+}
+
+// New returns a Sorter spilling to temp files in dir (""  means the system
+// temp dir) once buffered records exceed memLimit bytes.
+func New(dir string, memLimit int, cmp Compare) *Sorter {
+	if memLimit < 1<<16 {
+		memLimit = 1 << 16
+	}
+	return &Sorter{dir: dir, limit: memLimit, cmp: cmp}
+}
+
+// Spilled reports how many runs have been written to disk.
+func (s *Sorter) Spilled() int { return len(s.runs) }
+
+// Add copies rec into the sorter.
+func (s *Sorter) Add(rec []byte) error {
+	if len(s.buf)+len(rec)+recOverhead*(len(s.offs)+1) > s.limit && len(s.offs) > 0 {
+		if err := s.spill(); err != nil {
+			return err
+		}
+	}
+	s.offs = append(s.offs, recOff{off: len(s.buf), n: len(rec)})
+	s.buf = append(s.buf, rec...)
+	return nil
+}
+
+// sortBuffered orders the in-memory records (stable, so equal records keep
+// insertion order).
+func (s *Sorter) sortBuffered() {
+	sort.SliceStable(s.offs, func(i, j int) bool {
+		a, b := s.offs[i], s.offs[j]
+		return s.cmp(s.buf[a.off:a.off+a.n], s.buf[b.off:b.off+b.n]) < 0
+	})
+}
+
+// spill sorts the buffered records and writes them as one framed run.
+func (s *Sorter) spill() error {
+	s.sortBuffered()
+	f, err := os.CreateTemp(s.dir, "extsort-*.run")
+	if err != nil {
+		return fmt.Errorf("extsort: spill: %w", err)
+	}
+	if s.spillBuf == nil {
+		s.spillBuf = bufio.NewWriterSize(f, 256<<10)
+	} else {
+		s.spillBuf.Reset(f)
+	}
+	for _, o := range s.offs {
+		n := binary.PutUvarint(s.varint[:], uint64(o.n))
+		if _, err := s.spillBuf.Write(s.varint[:n]); err != nil {
+			f.Close()
+			return fmt.Errorf("extsort: spill: %w", err)
+		}
+		if _, err := s.spillBuf.Write(s.buf[o.off : o.off+o.n]); err != nil {
+			f.Close()
+			return fmt.Errorf("extsort: spill: %w", err)
+		}
+	}
+	if err := s.spillBuf.Flush(); err != nil {
+		f.Close()
+		return fmt.Errorf("extsort: spill: %w", err)
+	}
+	s.runs = append(s.runs, f)
+	s.buf = s.buf[:0]
+	s.offs = s.offs[:0]
+	return nil
+}
+
+// Sort finishes accumulation and returns an iterator over all records in
+// cmp order. The Sorter must not be Added to afterwards; Close releases
+// the temp files once iteration is done.
+func (s *Sorter) Sort() (*Iterator, error) {
+	if len(s.runs) == 0 {
+		s.sortBuffered()
+		return &Iterator{mem: s, memIdx: -1}, nil
+	}
+	// Uniform merge: flush the in-memory tail as a final run.
+	if len(s.offs) > 0 {
+		if err := s.spill(); err != nil {
+			return nil, err
+		}
+	}
+	it := &Iterator{mem: nil}
+	for i, f := range s.runs {
+		if _, err := f.Seek(0, io.SeekStart); err != nil {
+			return nil, fmt.Errorf("extsort: merge: %w", err)
+		}
+		it.srcs = append(it.srcs, runReader{
+			idx: i,
+			br:  bufio.NewReaderSize(f, 256<<10),
+		})
+	}
+	// Prime every run and heapify.
+	live := it.srcs[:0]
+	for i := range it.srcs {
+		r := it.srcs[i]
+		ok, err := r.next()
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			live = append(live, r)
+		}
+	}
+	it.srcs = live
+	it.cmp = s.cmp
+	for i := len(it.srcs)/2 - 1; i >= 0; i-- {
+		it.siftDown(i)
+	}
+	return it, nil
+}
+
+// Close removes all temp files. Safe to call multiple times.
+func (s *Sorter) Close() error {
+	var first error
+	for _, f := range s.runs {
+		name := f.Name()
+		if err := f.Close(); err != nil && first == nil {
+			first = err
+		}
+		if err := os.Remove(name); err != nil && first == nil {
+			first = err
+		}
+	}
+	s.runs = nil
+	s.buf, s.offs = nil, nil
+	return first
+}
+
+// runReader streams one spilled run.
+type runReader struct {
+	idx int
+	br  *bufio.Reader
+	cur []byte
+	buf []byte
+}
+
+// next loads the run's next record into cur; ok=false at end of run.
+func (r *runReader) next() (bool, error) {
+	n, err := binary.ReadUvarint(r.br)
+	if err == io.EOF {
+		return false, nil
+	}
+	if err != nil {
+		return false, fmt.Errorf("extsort: run read: %w", err)
+	}
+	if n > 1<<31 {
+		return false, fmt.Errorf("extsort: corrupt run: record length %d", n)
+	}
+	if cap(r.buf) < int(n) {
+		r.buf = make([]byte, n)
+	}
+	r.buf = r.buf[:n]
+	if _, err := io.ReadFull(r.br, r.buf); err != nil {
+		return false, fmt.Errorf("extsort: run read: %w", err)
+	}
+	r.cur = r.buf
+	return true, nil
+}
+
+// Iterator yields the sorted records. Bytes() is valid until the next
+// Next call.
+type Iterator struct {
+	// In-memory mode: walk mem.offs directly.
+	mem    *Sorter
+	memIdx int
+
+	// Merge mode: min-heap of live runs, ordered by (cmp, run index) so
+	// the merge is deterministic and stable across equal records.
+	srcs    []runReader
+	cmp     Compare
+	cur     []byte
+	started bool
+	err     error
+}
+
+// Next advances to the next record; false at end of data or on error.
+func (it *Iterator) Next() bool {
+	if it.err != nil {
+		return false
+	}
+	if it.mem != nil {
+		it.memIdx++
+		if it.memIdx >= len(it.mem.offs) {
+			return false
+		}
+		o := it.mem.offs[it.memIdx]
+		it.cur = it.mem.buf[o.off : o.off+o.n]
+		return true
+	}
+	if len(it.srcs) == 0 {
+		return false
+	}
+	if it.started {
+		// Advance the run that yielded the previous record.
+		ok, err := it.srcs[0].next()
+		if err != nil {
+			it.err = err
+			return false
+		}
+		if !ok {
+			last := len(it.srcs) - 1
+			it.srcs[0] = it.srcs[last]
+			it.srcs = it.srcs[:last]
+			if len(it.srcs) == 0 {
+				return false
+			}
+		}
+		it.siftDown(0)
+	}
+	it.started = true
+	it.cur = it.srcs[0].cur
+	return true
+}
+
+// Bytes returns the current record.
+func (it *Iterator) Bytes() []byte { return it.cur }
+
+// Err returns the first iteration error, if any.
+func (it *Iterator) Err() error { return it.err }
+
+// less orders heap entries by record compare, then run index (earlier run
+// first, preserving insertion order for equal records).
+func (it *Iterator) less(i, j int) bool {
+	if c := it.cmp(it.srcs[i].cur, it.srcs[j].cur); c != 0 {
+		return c < 0
+	}
+	return it.srcs[i].idx < it.srcs[j].idx
+}
+
+func (it *Iterator) siftDown(i int) {
+	n := len(it.srcs)
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && it.less(l, small) {
+			small = l
+		}
+		if r < n && it.less(r, small) {
+			small = r
+		}
+		if small == i {
+			return
+		}
+		it.srcs[i], it.srcs[small] = it.srcs[small], it.srcs[i]
+		i = small
+	}
+}

@@ -1,0 +1,198 @@
+package extsort
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+)
+
+func collect(t *testing.T, s *Sorter) []string {
+	t.Helper()
+	it, err := s.Sort()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []string
+	for it.Next() {
+		out = append(out, string(it.Bytes()))
+	}
+	if it.Err() != nil {
+		t.Fatal(it.Err())
+	}
+	return out
+}
+
+// TestInMemory: small inputs never touch disk and come back sorted.
+func TestInMemory(t *testing.T) {
+	s := New(t.TempDir(), 1<<20, bytes.Compare)
+	in := []string{"pear", "apple", "zuc", "apple", "fig", ""}
+	for _, v := range in {
+		if err := s.Add([]byte(v)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Spilled() != 0 {
+		t.Fatalf("spilled %d runs for tiny input", s.Spilled())
+	}
+	got := collect(t, s)
+	want := append([]string(nil), in...)
+	sort.Strings(want)
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("got %q, want %q", got, want)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSpillMergeMatchesInMemory: the same record set sorted with a tiny
+// memory bound (forcing many runs) equals the single in-memory sort, and
+// the spill files respect the bound.
+func TestSpillMergeMatchesInMemory(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	var recs [][]byte
+	for i := 0; i < 20000; i++ {
+		n := rng.Intn(40)
+		b := make([]byte, n)
+		for j := range b {
+			b[j] = byte('a' + rng.Intn(6))
+		}
+		recs = append(recs, b)
+	}
+
+	dir := t.TempDir()
+	big := New(dir, 64<<20, bytes.Compare)
+	small := New(dir, 1<<16, bytes.Compare) // 64 KiB: forces many spills
+	for _, r := range recs {
+		if err := big.Add(r); err != nil {
+			t.Fatal(err)
+		}
+		if err := small.Add(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if small.Spilled() < 4 {
+		t.Fatalf("expected several spilled runs, got %d", small.Spilled())
+	}
+	a, b := collect(t, big), collect(t, small)
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("record %d differs: %q vs %q", i, a[i], b[i])
+		}
+	}
+	if err := big.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := small.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStableAcrossSpills: records comparing equal under a key-prefix
+// comparator come back in insertion order even when split across runs.
+func TestStableAcrossSpills(t *testing.T) {
+	// Compare only the first byte: payload after it records insertion order.
+	cmp := func(a, b []byte) int { return bytes.Compare(a[:1], b[:1]) }
+	s := New(t.TempDir(), 1<<16, cmp)
+	const n = 9000
+	for i := 0; i < n; i++ {
+		rec := fmt.Sprintf("%c:%06d:%s", 'a'+byte(i%3), i, string(make([]byte, 20)))
+		if err := s.Add([]byte(rec)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Spilled() == 0 {
+		t.Fatal("expected spills")
+	}
+	got := collect(t, s)
+	if len(got) != n {
+		t.Fatalf("got %d records, want %d", len(got), n)
+	}
+	lastSeq := map[byte]int{'a': -1, 'b': -1, 'c': -1}
+	for i, r := range got {
+		if i > 0 && r[0] < got[i-1][0] {
+			t.Fatalf("unsorted at %d: %q after %q", i, r[:8], got[i-1][:8])
+		}
+		var seq int
+		fmt.Sscanf(r[2:8], "%d", &seq)
+		if seq <= lastSeq[r[0]] {
+			t.Fatalf("stability violated for key %c: seq %d after %d", r[0], seq, lastSeq[r[0]])
+		}
+		lastSeq[r[0]] = seq
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCloseRemovesTempFiles: no extsort droppings survive Close.
+func TestCloseRemovesTempFiles(t *testing.T) {
+	dir := t.TempDir()
+	s := New(dir, 1<<16, bytes.Compare)
+	for i := 0; i < 10000; i++ {
+		if err := s.Add([]byte(fmt.Sprintf("record-%08d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	it, err := s.Sort()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for it.Next() {
+	}
+	if it.Err() != nil {
+		t.Fatal(it.Err())
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	left, err := filepath.Glob(filepath.Join(dir, "extsort-*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(left) != 0 {
+		t.Fatalf("temp files left behind: %v", left)
+	}
+	if err := s.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+}
+
+// TestMemoryBoundRespected: buffered bytes never exceed the configured
+// limit (checked via the spill sizes: each run is at most the limit).
+func TestMemoryBoundRespected(t *testing.T) {
+	dir := t.TempDir()
+	const limit = 1 << 16
+	s := New(dir, limit, bytes.Compare)
+	rec := make([]byte, 100)
+	for i := 0; i < 5000; i++ {
+		copy(rec, fmt.Sprintf("%08d", i))
+		if err := s.Add(rec); err != nil {
+			t.Fatal(err)
+		}
+		if got := len(s.buf) + recOverhead*len(s.offs); got > limit {
+			t.Fatalf("buffered %d bytes, limit %d", got, limit)
+		}
+	}
+	runs, _ := filepath.Glob(filepath.Join(dir, "extsort-*"))
+	for _, r := range runs {
+		st, err := os.Stat(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// A run holds at most one memory-load of records (+ framing).
+		if st.Size() > limit+limit/8 {
+			t.Fatalf("run %s is %d bytes, over the %d bound", r, st.Size(), limit)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,289 @@
+package metrics
+
+// Append-based record encoding: the Recorder's hot emit path. Every sample
+// used to round-trip through encoding/json (reflection, interface boxing,
+// one allocation per Marshal plus the record slices), which dominated the
+// sampler's cost at small intervals. These helpers append the exact same
+// bytes into a reused buffer instead — byte-identity with the old
+// encoding/json output is pinned by TestEncodingGolden and the re-marshal
+// property test, and the stream format contract lives in DESIGN.md §9.
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"unicode/utf8"
+)
+
+const hexDigits = "0123456789abcdef"
+
+// jsonSafe marks the ASCII bytes encoding/json emits verbatim inside a
+// string with HTML escaping on (the json.Marshal default): everything from
+// 0x20 up except '"', '\\', '<', '>', '&'.
+var jsonSafe = func() (t [utf8.RuneSelf]bool) {
+	for b := 0x20; b < utf8.RuneSelf; b++ {
+		switch byte(b) {
+		case '"', '\\', '<', '>', '&':
+		default:
+			t[b] = true
+		}
+	}
+	return
+}()
+
+// appendJSONString appends s as a JSON string literal with exactly
+// encoding/json's escaping rules (HTML specials to \u00xx, named escapes for
+// \n \r \t, \u00xx for other controls, � for invalid UTF-8, and the
+// JavaScript line separators U+2028/U+2029 escaped).
+func appendJSONString(dst []byte, s string) []byte {
+	dst = append(dst, '"')
+	start := 0
+	for i := 0; i < len(s); {
+		if b := s[i]; b < utf8.RuneSelf {
+			if jsonSafe[b] {
+				i++
+				continue
+			}
+			dst = append(dst, s[start:i]...)
+			switch b {
+			case '\\', '"':
+				dst = append(dst, '\\', b)
+			case '\n':
+				dst = append(dst, '\\', 'n')
+			case '\r':
+				dst = append(dst, '\\', 'r')
+			case '\t':
+				dst = append(dst, '\\', 't')
+			default:
+				// Control bytes and the HTML specials <, >, &.
+				dst = append(dst, '\\', 'u', '0', '0', hexDigits[b>>4], hexDigits[b&0xF])
+			}
+			i++
+			start = i
+			continue
+		}
+		c, size := utf8.DecodeRuneInString(s[i:])
+		if c == utf8.RuneError && size == 1 {
+			dst = append(dst, s[start:i]...)
+			dst = append(dst, '\\', 'u', 'f', 'f', 'f', 'd')
+			i += size
+			start = i
+			continue
+		}
+		if c == '\u2028' || c == '\u2029' {
+			dst = append(dst, s[start:i]...)
+			dst = append(dst, '\\', 'u', '2', '0', '2', hexDigits[c&0xF])
+			i += size
+			start = i
+			continue
+		}
+		i += size
+	}
+	dst = append(dst, s[start:]...)
+	return append(dst, '"')
+}
+
+// appendJSONFloat appends f exactly as encoding/json encodes a float64:
+// shortest 'f' form, switching to 'e' outside [1e-6, 1e21) with a one-digit
+// exponent cleanup. NaN and infinities are unsupported, matching
+// json.Marshal's error behavior.
+func appendJSONFloat(dst []byte, f float64) ([]byte, error) {
+	if math.IsNaN(f) || math.IsInf(f, 0) {
+		return dst, fmt.Errorf("metrics: unsupported float64 value %v", f)
+	}
+	abs := math.Abs(f)
+	format := byte('f')
+	if abs != 0 && (abs < 1e-6 || abs >= 1e21) {
+		format = 'e'
+	}
+	dst = strconv.AppendFloat(dst, f, format, -1, 64)
+	if format == 'e' {
+		// encoding/json trims a leading zero off a two-digit negative
+		// exponent: "2e-07" -> "2e-7".
+		if n := len(dst); n >= 4 && dst[n-4] == 'e' && dst[n-3] == '-' && dst[n-2] == '0' {
+			dst[n-2] = dst[n-1]
+			dst = dst[:n-1]
+		}
+	}
+	return dst, nil
+}
+
+// appendJSONSample appends rec as one NDJSON line (newline included),
+// byte-identical to json.Marshal of sampleRecord.
+func appendJSONSample(dst []byte, rec *sampleRecord) ([]byte, error) {
+	dst = append(dst, `{"type":`...)
+	dst = appendJSONString(dst, rec.Type)
+	dst = append(dst, `,"config":`...)
+	dst = appendJSONString(dst, rec.Config)
+	dst = append(dst, `,"workload":`...)
+	dst = appendJSONString(dst, rec.Workload)
+	dst = append(dst, `,"seq":`...)
+	dst = strconv.AppendInt(dst, int64(rec.Seq), 10)
+	dst = append(dst, `,"kernel":`...)
+	dst = strconv.AppendInt(dst, int64(rec.Kernel), 10)
+	dst = append(dst, `,"start":`...)
+	dst = strconv.AppendUint(dst, rec.Start, 10)
+	dst = append(dst, `,"end":`...)
+	dst = strconv.AppendUint(dst, rec.End, 10)
+	dst = append(dst, `,"events":`...)
+	dst = strconv.AppendUint(dst, rec.Events, 10)
+	dst = append(dst, `,"liveCTAs":`...)
+	dst = strconv.AppendInt(dst, int64(rec.LiveCTAs), 10)
+	dst = append(dst, `,"loads":`...)
+	dst = strconv.AppendInt(dst, int64(rec.Loads), 10)
+	dst = append(dst, `,"stores":`...)
+	dst = strconv.AppendInt(dst, int64(rec.Stores), 10)
+	dst, err := appendJSONBody(dst, rec.Resources, rec.Caches)
+	if err != nil {
+		return dst, err
+	}
+	return append(dst, '}', '\n'), nil
+}
+
+// appendJSONKernel appends rec as one NDJSON line (newline included),
+// byte-identical to json.Marshal of kernelRecord.
+func appendJSONKernel(dst []byte, rec *kernelRecord) ([]byte, error) {
+	dst = append(dst, `{"type":`...)
+	dst = appendJSONString(dst, rec.Type)
+	dst = append(dst, `,"config":`...)
+	dst = appendJSONString(dst, rec.Config)
+	dst = append(dst, `,"workload":`...)
+	dst = appendJSONString(dst, rec.Workload)
+	dst = append(dst, `,"kernel":`...)
+	dst = strconv.AppendInt(dst, int64(rec.Kernel), 10)
+	dst = append(dst, `,"start":`...)
+	dst = strconv.AppendUint(dst, rec.Start, 10)
+	dst = append(dst, `,"end":`...)
+	dst = strconv.AppendUint(dst, rec.End, 10)
+	dst = append(dst, `,"events":`...)
+	dst = strconv.AppendUint(dst, rec.Events, 10)
+	dst, err := appendJSONBody(dst, rec.Resources, rec.Caches)
+	if err != nil {
+		return dst, err
+	}
+	return append(dst, '}', '\n'), nil
+}
+
+// appendJSONBody appends the shared "resources" and "caches" arrays.
+func appendJSONBody(dst []byte, res []resourceRecord, caches []cacheRecord) ([]byte, error) {
+	var err error
+	dst = append(dst, `,"resources":`...)
+	if res == nil {
+		dst = append(dst, `null`...)
+	} else {
+		dst = append(dst, '[')
+		for i := range res {
+			rr := &res[i]
+			if i > 0 {
+				dst = append(dst, ',')
+			}
+			dst = append(dst, `{"name":`...)
+			dst = appendJSONString(dst, rr.Name)
+			dst = append(dst, `,"kind":`...)
+			dst = appendJSONString(dst, rr.Kind)
+			dst = append(dst, `,"gpm":`...)
+			dst = strconv.AppendInt(dst, int64(rr.GPM), 10)
+			dst = append(dst, `,"busy":`...)
+			if dst, err = appendJSONFloat(dst, rr.Busy); err != nil {
+				return dst, err
+			}
+			dst = append(dst, `,"units":`...)
+			dst = strconv.AppendUint(dst, rr.Units, 10)
+			dst = append(dst, `,"util":`...)
+			if dst, err = appendJSONFloat(dst, rr.Util); err != nil {
+				return dst, err
+			}
+			dst = append(dst, '}')
+		}
+		dst = append(dst, ']')
+	}
+	dst = append(dst, `,"caches":`...)
+	if caches == nil {
+		dst = append(dst, `null`...)
+	} else {
+		dst = append(dst, '[')
+		for i := range caches {
+			cr := &caches[i]
+			if i > 0 {
+				dst = append(dst, ',')
+			}
+			dst = append(dst, `{"level":`...)
+			dst = appendJSONString(dst, cr.Level)
+			dst = append(dst, `,"gpm":`...)
+			dst = strconv.AppendInt(dst, int64(cr.GPM), 10)
+			dst = append(dst, `,"hits":`...)
+			dst = strconv.AppendUint(dst, cr.Hits, 10)
+			dst = append(dst, `,"misses":`...)
+			dst = strconv.AppendUint(dst, cr.Misses, 10)
+			dst = append(dst, '}')
+		}
+		dst = append(dst, ']')
+	}
+	return dst, nil
+}
+
+// appendCSVField appends a CSV value, quoting when the RFC-4180 specials
+// require it — same policy as the old csvField, without the intermediate
+// strings.
+func appendCSVField(dst []byte, s string) []byte {
+	quote := false
+	for i := 0; i < len(s); i++ {
+		if c := s[i]; c == ',' || c == '"' || c == '\n' {
+			quote = true
+			break
+		}
+	}
+	if !quote {
+		return append(dst, s...)
+	}
+	dst = append(dst, '"')
+	for i := 0; i < len(s); i++ {
+		if s[i] == '"' {
+			dst = append(dst, '"', '"')
+		} else {
+			dst = append(dst, s[i])
+		}
+	}
+	return append(dst, '"')
+}
+
+// appendCSVFloat appends v in fmt's %g form (shortest unique).
+func appendCSVFloat(dst []byte, v float64) []byte {
+	return strconv.AppendFloat(dst, v, 'g', -1, 64)
+}
+
+// appendCSVBody appends one long-format row per resource and per cache
+// entry, each prefixed with the record columns already rendered in prefix.
+func appendCSVBody(dst, prefix []byte, res []resourceRecord, caches []cacheRecord) []byte {
+	for i := range res {
+		rr := &res[i]
+		dst = append(dst, prefix...)
+		dst = append(dst, ',')
+		dst = appendCSVField(dst, rr.Kind)
+		dst = append(dst, ',')
+		dst = strconv.AppendInt(dst, int64(rr.GPM), 10)
+		dst = append(dst, ',')
+		dst = appendCSVField(dst, rr.Name)
+		dst = append(dst, ',')
+		dst = appendCSVFloat(dst, rr.Busy)
+		dst = append(dst, ',')
+		dst = strconv.AppendUint(dst, rr.Units, 10)
+		dst = append(dst, ',')
+		dst = appendCSVFloat(dst, rr.Util)
+		dst = append(dst, ',', ',', '\n')
+	}
+	for i := range caches {
+		cr := &caches[i]
+		dst = append(dst, prefix...)
+		dst = append(dst, `,cache,`...)
+		dst = strconv.AppendInt(dst, int64(cr.GPM), 10)
+		dst = append(dst, ',')
+		dst = appendCSVField(dst, cr.Level)
+		dst = append(dst, `,,,,`...)
+		dst = strconv.AppendUint(dst, cr.Hits, 10)
+		dst = append(dst, ',')
+		dst = strconv.AppendUint(dst, cr.Misses, 10)
+		dst = append(dst, '\n')
+	}
+	return dst
+}

@@ -19,10 +19,9 @@
 package metrics
 
 import (
-	"encoding/json"
 	"fmt"
 	"io"
-	"strings"
+	"strconv"
 
 	"mcmgpu/internal/engine"
 	"mcmgpu/internal/report"
@@ -115,6 +114,14 @@ type Recorder struct {
 	state            func() State
 
 	sum *Summary
+
+	// Reused encoding scratch: the emit hot path appends records into buf
+	// and record fields into encRes/encCaches, so steady-state sampling
+	// performs no per-sample allocations (pinned by TestEmitAllocs).
+	buf           []byte
+	prefixScratch []byte
+	encRes        []resourceRecord
+	encCache      []cacheRecord
 }
 
 // NewRecorder creates a Recorder writing to w (nil = discard) every interval
@@ -284,9 +291,12 @@ func (r *Recorder) emitSample(now engine.Cycle, events uint64) {
 		return
 	}
 	elapsed := float64(now - r.lastCycle)
-	res := make([]resourceRecord, len(r.resources))
-	pt := point{start: r.lastCycle, end: now, linkUtil: make([]float64, len(r.sum.gpms))}
-	for i, p := range r.resources {
+	r.encRes = r.encRes[:0]
+	pt := point{start: r.lastCycle, end: now, utilOff: len(r.sum.utilBuf)}
+	for range r.sum.gpms {
+		r.sum.utilBuf = append(r.sum.utilBuf, 0)
+	}
+	for _, p := range r.resources {
 		busy := p.p.BusyThrough(now)
 		units := p.p.Units()
 		rec := resourceRecord{
@@ -298,25 +308,25 @@ func (r *Recorder) emitSample(now engine.Cycle, events uint64) {
 			Util:  clampedUtil(busy-p.lastBusy, elapsed),
 		}
 		p.lastBusy, p.lastUnits = busy, units
-		res[i] = rec
+		r.encRes = append(r.encRes, rec)
 		switch p.kind {
 		case "link":
-			if gi, ok := r.sum.gpmIdx[p.gpm]; ok && rec.Util > pt.linkUtil[gi] {
-				pt.linkUtil[gi] = rec.Util
+			if gi, ok := r.sum.gpmIdx[p.gpm]; ok && rec.Util > r.sum.utilBuf[pt.utilOff+gi] {
+				r.sum.utilBuf[pt.utilOff+gi] = rec.Util
 			}
 		case "dram":
 			pt.dramBytes += rec.Units
 		}
 	}
-	caches := make([]cacheRecord, len(r.caches))
-	for i, c := range r.caches {
+	r.encCache = r.encCache[:0]
+	for _, c := range r.caches {
 		hits, acc := c.totals()
-		caches[i] = cacheRecord{
+		r.encCache = append(r.encCache, cacheRecord{
 			Level:  c.level,
 			GPM:    c.gpm,
 			Hits:   hits - c.lastHits,
 			Misses: (acc - c.lastAcc) - (hits - c.lastHits),
-		}
+		})
 		c.lastHits, c.lastAcc = hits, acc
 	}
 	var st State
@@ -335,13 +345,13 @@ func (r *Recorder) emitSample(now engine.Cycle, events uint64) {
 		LiveCTAs:  st.LiveCTAs,
 		Loads:     st.InFlightLoads,
 		Stores:    st.InFlightStores,
-		Resources: res,
-		Caches:    caches,
+		Resources: r.encRes,
+		Caches:    r.encCache,
 	}
 	if r.csv {
 		r.writeCSVSample(&rec)
 	} else {
-		r.writeJSON(&rec)
+		r.writeJSONRecord(func(dst []byte) ([]byte, error) { return appendJSONSample(dst, &rec) })
 	}
 	r.sum.points = append(r.sum.points, pt)
 	r.lastCycle, r.lastEvents = now, events
@@ -353,27 +363,27 @@ func (r *Recorder) emitKernel(now engine.Cycle, events uint64) {
 		return
 	}
 	elapsed := float64(now - r.kCycle)
-	res := make([]resourceRecord, len(r.resources))
-	for i, p := range r.resources {
+	r.encRes = r.encRes[:0]
+	for _, p := range r.resources {
 		// emitSample just settled every probe through now (or nothing has
 		// elapsed since it last did), so lastBusy is BusyThrough(now).
-		res[i] = resourceRecord{
+		r.encRes = append(r.encRes, resourceRecord{
 			Name:  p.name,
 			Kind:  p.kind,
 			GPM:   p.gpm,
 			Busy:  p.lastBusy - p.kBusy,
 			Units: p.lastUnits - p.kUnits,
 			Util:  clampedUtil(p.lastBusy-p.kBusy, elapsed),
-		}
+		})
 	}
-	caches := make([]cacheRecord, len(r.caches))
-	for i, c := range r.caches {
-		caches[i] = cacheRecord{
+	r.encCache = r.encCache[:0]
+	for _, c := range r.caches {
+		r.encCache = append(r.encCache, cacheRecord{
 			Level:  c.level,
 			GPM:    c.gpm,
 			Hits:   c.lastHits - c.kHits,
 			Misses: (c.lastAcc - c.kAcc) - (c.lastHits - c.kHits),
-		}
+		})
 	}
 	rec := kernelRecord{
 		Type:      "kernel",
@@ -383,23 +393,26 @@ func (r *Recorder) emitKernel(now engine.Cycle, events uint64) {
 		Start:     uint64(r.kCycle),
 		End:       uint64(now),
 		Events:    events - r.kEvents,
-		Resources: res,
-		Caches:    caches,
+		Resources: r.encRes,
+		Caches:    r.encCache,
 	}
 	if r.csv {
 		r.writeCSVKernel(&rec)
 	} else {
-		r.writeJSON(&rec)
+		r.writeJSONRecord(func(dst []byte) ([]byte, error) { return appendJSONKernel(dst, &rec) })
 	}
 }
 
-func (r *Recorder) writeJSON(v interface{}) {
-	data, err := json.Marshal(v)
+// writeJSONRecord encodes one record into the reused buffer via enc and
+// writes it as a single line.
+func (r *Recorder) writeJSONRecord(enc func([]byte) ([]byte, error)) {
+	buf, err := enc(r.buf[:0])
+	r.buf = buf
 	if err != nil {
 		r.err = err
 		return
 	}
-	if _, err := r.w.Write(append(data, '\n')); err != nil {
+	if _, err := r.w.Write(buf); err != nil {
 		r.err = err
 	}
 }
@@ -409,60 +422,78 @@ func (r *Recorder) writeJSON(v interface{}) {
 // rows fill hits/misses; kernel rows leave seq and the state columns empty.
 const CSVHeader = "type,config,workload,seq,kernel,start,end,events,liveCTAs,loads,stores,kind,gpm,name,busy,units,util,hits,misses"
 
-func (r *Recorder) header(b *strings.Builder) {
+// header appends the single CSV header row if it has not been written yet.
+func (r *Recorder) header(dst []byte) []byte {
 	if !r.wroteHeader {
-		b.WriteString(CSVHeader)
-		b.WriteByte('\n')
+		dst = append(dst, CSVHeader...)
+		dst = append(dst, '\n')
 		r.wroteHeader = true
 	}
-}
-
-// csvField quotes a value when the RFC-4180 specials require it.
-func csvField(s string) string {
-	if strings.ContainsAny(s, ",\"\n") {
-		return "\"" + strings.ReplaceAll(s, "\"", "\"\"") + "\""
-	}
-	return s
+	return dst
 }
 
 func (r *Recorder) writeCSVSample(rec *sampleRecord) {
-	var b strings.Builder
-	r.header(&b)
-	prefix := fmt.Sprintf("sample,%s,%s,%d,%d,%d,%d,%d,%d,%d,%d",
-		csvField(rec.Config), csvField(rec.Workload), rec.Seq, rec.Kernel,
-		rec.Start, rec.End, rec.Events, rec.LiveCTAs, rec.Loads, rec.Stores)
-	writeCSVBody(&b, prefix, rec.Resources, rec.Caches)
-	if _, err := io.WriteString(r.w, b.String()); err != nil {
+	buf := r.header(r.buf[:0])
+	// The record prefix columns, shared by every row of this sample.
+	p := r.prefixScratch[:0]
+	p = append(p, `sample,`...)
+	p = appendCSVField(p, rec.Config)
+	p = append(p, ',')
+	p = appendCSVField(p, rec.Workload)
+	p = append(p, ',')
+	p = strconv.AppendInt(p, int64(rec.Seq), 10)
+	p = append(p, ',')
+	p = strconv.AppendInt(p, int64(rec.Kernel), 10)
+	p = append(p, ',')
+	p = strconv.AppendUint(p, rec.Start, 10)
+	p = append(p, ',')
+	p = strconv.AppendUint(p, rec.End, 10)
+	p = append(p, ',')
+	p = strconv.AppendUint(p, rec.Events, 10)
+	p = append(p, ',')
+	p = strconv.AppendInt(p, int64(rec.LiveCTAs), 10)
+	p = append(p, ',')
+	p = strconv.AppendInt(p, int64(rec.Loads), 10)
+	p = append(p, ',')
+	p = strconv.AppendInt(p, int64(rec.Stores), 10)
+	r.prefixScratch = p
+	buf = appendCSVBody(buf, p, rec.Resources, rec.Caches)
+	r.buf = buf
+	if _, err := r.w.Write(buf); err != nil {
 		r.err = err
 	}
 }
 
 func (r *Recorder) writeCSVKernel(rec *kernelRecord) {
-	var b strings.Builder
-	r.header(&b)
-	prefix := fmt.Sprintf("kernel,%s,%s,,%d,%d,%d,%d,,,",
-		csvField(rec.Config), csvField(rec.Workload), rec.Kernel,
-		rec.Start, rec.End, rec.Events)
-	writeCSVBody(&b, prefix, rec.Resources, rec.Caches)
-	if _, err := io.WriteString(r.w, b.String()); err != nil {
+	buf := r.header(r.buf[:0])
+	p := r.prefixScratch[:0]
+	p = append(p, `kernel,`...)
+	p = appendCSVField(p, rec.Config)
+	p = append(p, ',')
+	p = appendCSVField(p, rec.Workload)
+	p = append(p, ',', ',') // empty seq column
+	p = strconv.AppendInt(p, int64(rec.Kernel), 10)
+	p = append(p, ',')
+	p = strconv.AppendUint(p, rec.Start, 10)
+	p = append(p, ',')
+	p = strconv.AppendUint(p, rec.End, 10)
+	p = append(p, ',')
+	p = strconv.AppendUint(p, rec.Events, 10)
+	p = append(p, ',', ',', ',') // empty liveCTAs/loads/stores columns
+	r.prefixScratch = p
+	buf = appendCSVBody(buf, p, rec.Resources, rec.Caches)
+	r.buf = buf
+	if _, err := r.w.Write(buf); err != nil {
 		r.err = err
 	}
 }
 
-func writeCSVBody(b *strings.Builder, prefix string, res []resourceRecord, caches []cacheRecord) {
-	for _, rr := range res {
-		fmt.Fprintf(b, "%s,%s,%d,%s,%g,%d,%g,,\n", prefix, rr.Kind, rr.GPM, csvField(rr.Name), rr.Busy, rr.Units, rr.Util)
-	}
-	for _, cr := range caches {
-		fmt.Fprintf(b, "%s,cache,%d,%s,,,,%d,%d\n", prefix, cr.GPM, csvField(cr.Level), cr.Hits, cr.Misses)
-	}
-}
-
 // point is one sample's compact summary retention: the per-GPM max link
-// utilization and the DRAM bytes moved over the span.
+// utilization (a window of Summary.utilBuf starting at utilOff) and the DRAM
+// bytes moved over the span.
 type point struct {
 	start, end engine.Cycle
-	linkUtil   []float64
+	utilOff    int
 	dramBytes  uint64
 }
 
@@ -476,6 +507,11 @@ type Summary struct {
 	gpms   []int
 	gpmIdx map[int]int
 	points []point
+	// utilBuf is the flat per-sample × per-GPM max-link-utilization store:
+	// sample i's GPM g value lives at points[i].utilOff + gpmIdx[g]. One
+	// growing buffer instead of one slice per sample keeps the emit path
+	// allocation-free.
+	utilBuf []float64
 }
 
 func (s *Summary) addGPM(gpm int) {
@@ -504,10 +540,9 @@ func (s *Summary) Tables() []*report.Table {
 		for gi, gpm := range s.gpms {
 			xs := make([]float64, len(s.points))
 			for i, p := range s.points {
-				xs[i] = p.linkUtil[gi]
+				xs[i] = s.utilBuf[p.utilOff+gi]
 			}
-			sorted := stats.Sorted(xs)
-			p95 := sorted[(len(sorted)*95)/100]
+			p95 := stats.Quantile(stats.Sorted(xs), 0.95)
 			t.AddRowF(gpm, stats.Max(xs), stats.Mean(xs), p95)
 		}
 		t.Note = "per-sample max across the GPM's egress links; interval utilization is clipped to [0,1]"

@@ -1,0 +1,65 @@
+package metricstream
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzMetricsParse throws arbitrary bytes at every entry point of the
+// stream layer: both single-line parsers and the full Scanner (which also
+// exercises gzip sniffing and format autodetection). The property under
+// test is total safety — malformed input must surface as an error, never a
+// panic, out-of-range slice, or infinite loop — plus parse/re-parse
+// stability: a line that parses once must parse identically again from the
+// same Record (scratch reuse must not corrupt results).
+func FuzzMetricsParse(f *testing.F) {
+	seeds := [][]byte{
+		[]byte(`{"type":"sample","config":"c","workload":"w","seq":0,"kernel":0,"start":0,"end":4096,"events":12,"liveCTAs":3,"loads":1,"stores":2,"resources":[{"name":"l0","kind":"link","gpm":0,"busy":12.5,"units":800,"util":0.75}],"caches":[{"level":"l2","gpm":0,"hits":10,"misses":2}]}`),
+		[]byte(`{"type":"kernel","config":"c","workload":"w","kernel":1,"start":0,"end":8192,"events":99,"resources":null,"caches":null}`),
+		[]byte(`{"type":"sample","config":"a\"b\\c","workload":" x","seq":1,"kernel":2,"start":1,"end":2,"events":3,"liveCTAs":4,"loads":5,"stores":6,"resources":[],"caches":[]}`),
+		[]byte("type,config,workload,seq,kernel,start,end,events,liveCTAs,loads,stores,kind,gpm,name,busy,units,util,hits,misses"),
+		[]byte(`sample,c,w,0,0,0,4096,12,3,1,2,link,0,l0,12.5,800,0.75,,`),
+		[]byte(`sample,"c,x","w""q""",0,0,0,4096,12,3,1,2,cache,1,l2,,,,10,2`),
+		[]byte(`kernel,c,w,,1,0,8192,99,,,,dram,0,d0,1e3,5,0.5,,`),
+		[]byte(`{"type":"sample"`),
+		[]byte(`{"type":"bogus","config":"c"}`),
+		[]byte(`sample,c,w`),
+		[]byte("\x1f\x8b\x08\x00\x00\x00\x00\x00\x00\x00"),
+		[]byte("{\"type\":\"sample\",\"config\":\"\\ud83d\\ude00\",\"workload\":\"w\",\"seq\":0,\"kernel\":0,\"start\":0,\"end\":1,\"events\":0,\"liveCTAs\":0,\"loads\":0,\"stores\":0,\"resources\":[],\"caches\":[]}"),
+		{},
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var r1, r2 Record
+		if err := r1.ParseNDJSON(data); err == nil {
+			if err := r2.ParseNDJSON(data); err != nil {
+				t.Fatalf("ndjson re-parse failed: %v", err)
+			}
+			if err := r1.ParseNDJSON(data); err != nil {
+				t.Fatalf("ndjson parse into reused record failed: %v", err)
+			}
+		}
+		var c1 Record
+		if err := c1.ParseCSV(data); err == nil {
+			if err := c1.ParseCSV(data); err != nil {
+				t.Fatalf("csv parse into reused record failed: %v", err)
+			}
+		}
+		sc, err := NewScanner(bytes.NewReader(data), FormatAuto)
+		if err != nil {
+			return // gzip sniff rejected a truncated header: fine
+		}
+		lines := 0
+		for sc.Scan() {
+			lines++
+			if lines > 1<<20 {
+				t.Fatal("scanner yielded over a million records from fuzz input")
+			}
+			_ = sc.Record()
+			_ = sc.Offset()
+		}
+		_ = sc.Err()
+	})
+}

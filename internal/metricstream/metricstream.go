@@ -1,0 +1,950 @@
+// Package metricstream parses the metrics streams written by
+// internal/metrics — NDJSON sample/kernel records and the long-format CSV —
+// without allocating on the per-record path. Parsed records expose []byte
+// views into the caller's line buffer (or a scratch buffer reused across
+// records for fields that needed unescaping), so a Record is valid only
+// until the next Parse call on it.
+//
+// The package is the read side of the stream format contract in DESIGN.md
+// §9: the parsers require the exact field order the Recorder emits, and any
+// deviation is an error, never a panic (pinned by FuzzMetricsParse).
+package metricstream
+
+import (
+	"bufio"
+	"bytes"
+	"compress/gzip"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// RecordType discriminates the two record shapes in a metrics stream.
+type RecordType int8
+
+const (
+	// TypeSample is a periodic interval record ("type":"sample").
+	TypeSample RecordType = iota
+	// TypeKernel is a kernel-boundary record ("type":"kernel").
+	TypeKernel
+)
+
+// String returns the on-wire type tag.
+func (t RecordType) String() string {
+	if t == TypeKernel {
+		return "kernel"
+	}
+	return "sample"
+}
+
+// Resource is one per-resource slice of a record. Name and Kind alias the
+// parse buffer.
+type Resource struct {
+	Name  []byte
+	Kind  []byte
+	GPM   int
+	Busy  float64
+	Units uint64
+	Util  float64
+}
+
+// Cache is one per-cache-level slice of a record. Level aliases the parse
+// buffer.
+type Cache struct {
+	Level  []byte
+	GPM    int
+	Hits   uint64
+	Misses uint64
+}
+
+// Record is one parsed metrics record. An NDJSON line yields the full
+// record; a CSV line yields the record prefix plus exactly one Resource or
+// one Cache (the CSV export is one flat row per slice). All []byte fields
+// alias either the input line or the Record's internal scratch buffer and
+// are invalidated by the next Parse call.
+type Record struct {
+	Type      RecordType
+	Config    []byte
+	Workload  []byte
+	Seq       int
+	Kernel    int
+	Start     uint64
+	End       uint64
+	Events    uint64
+	LiveCTAs  int
+	Loads     int
+	Stores    int
+	Resources []Resource
+	Caches    []Cache
+
+	scratch []byte // unescape target, reused across parses
+}
+
+func (r *Record) reset() {
+	r.Type = TypeSample
+	r.Config, r.Workload = nil, nil
+	r.Seq, r.Kernel = 0, 0
+	r.Start, r.End, r.Events = 0, 0, 0
+	r.LiveCTAs, r.Loads, r.Stores = 0, 0, 0
+	r.Resources = r.Resources[:0]
+	r.Caches = r.Caches[:0]
+	r.scratch = r.scratch[:0]
+}
+
+// parser is a bounds-checked cursor over one line.
+type parser struct {
+	b []byte
+	i int
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("metricstream: "+format+" at byte %d", append(args, p.i)...)
+}
+
+// tryLit consumes the exact literal s if present, without allocating on
+// mismatch — the speculative-probe variant for branches that are expected
+// to fail (null checks, the type switch).
+func (p *parser) tryLit(s string) bool {
+	if len(p.b)-p.i < len(s) || string(p.b[p.i:p.i+len(s)]) != s {
+		return false
+	}
+	p.i += len(s)
+	return true
+}
+
+// lit consumes the exact literal s.
+func (p *parser) lit(s string) error {
+	if !p.tryLit(s) {
+		return p.errf("expected %q", s)
+	}
+	return nil
+}
+
+// peek returns the next byte, or 0 at end of line.
+func (p *parser) peek() byte {
+	if p.i < len(p.b) {
+		return p.b[p.i]
+	}
+	return 0
+}
+
+// str consumes a JSON string literal. Unescaped strings are returned as a
+// subslice of the line; strings with escapes are decoded into scratch.
+func (p *parser) str(scratch *[]byte) ([]byte, error) {
+	if p.peek() != '"' {
+		return nil, p.errf("expected string")
+	}
+	p.i++
+	start := p.i
+	for p.i < len(p.b) {
+		switch c := p.b[p.i]; {
+		case c == '"':
+			s := p.b[start:p.i]
+			p.i++
+			return s, nil
+		case c == '\\':
+			return p.strSlow(start, scratch)
+		default:
+			p.i++
+		}
+	}
+	return nil, p.errf("unterminated string")
+}
+
+// strSlow finishes a string containing escapes, decoding into scratch.
+// start is the content start; p.i sits on the first backslash.
+func (p *parser) strSlow(start int, scratch *[]byte) ([]byte, error) {
+	mark := len(*scratch)
+	out := append(*scratch, p.b[start:p.i]...)
+	for p.i < len(p.b) {
+		c := p.b[p.i]
+		if c == '"' {
+			p.i++
+			*scratch = out
+			return out[mark:], nil
+		}
+		if c != '\\' {
+			out = append(out, c)
+			p.i++
+			continue
+		}
+		p.i++
+		if p.i >= len(p.b) {
+			return nil, p.errf("truncated escape")
+		}
+		e := p.b[p.i]
+		p.i++
+		switch e {
+		case '"', '\\', '/':
+			out = append(out, e)
+		case 'b':
+			out = append(out, '\b')
+		case 'f':
+			out = append(out, '\f')
+		case 'n':
+			out = append(out, '\n')
+		case 'r':
+			out = append(out, '\r')
+		case 't':
+			out = append(out, '\t')
+		case 'u':
+			r, err := p.hex4()
+			if err != nil {
+				return nil, err
+			}
+			if r >= 0xD800 && r < 0xDC00 {
+				// Surrogate pair: require the low half.
+				if p.i+1 < len(p.b) && p.b[p.i] == '\\' && p.b[p.i+1] == 'u' {
+					p.i += 2
+					r2, err := p.hex4()
+					if err != nil {
+						return nil, err
+					}
+					if r2 >= 0xDC00 && r2 < 0xE000 {
+						r = 0x10000 + (r-0xD800)<<10 + (r2 - 0xDC00)
+					} else {
+						r = 0xFFFD
+					}
+				} else {
+					r = 0xFFFD
+				}
+			} else if r >= 0xDC00 && r < 0xE000 {
+				r = 0xFFFD
+			}
+			out = appendRune(out, r)
+		default:
+			return nil, p.errf("bad escape \\%c", e)
+		}
+	}
+	return nil, p.errf("unterminated string")
+}
+
+// hex4 consumes four hex digits.
+func (p *parser) hex4() (rune, error) {
+	if len(p.b)-p.i < 4 {
+		return 0, p.errf("truncated \\u escape")
+	}
+	var r rune
+	for k := 0; k < 4; k++ {
+		c := p.b[p.i+k]
+		switch {
+		case c >= '0' && c <= '9':
+			r = r<<4 | rune(c-'0')
+		case c >= 'a' && c <= 'f':
+			r = r<<4 | rune(c-'a'+10)
+		case c >= 'A' && c <= 'F':
+			r = r<<4 | rune(c-'A'+10)
+		default:
+			return 0, p.errf("bad \\u escape")
+		}
+	}
+	p.i += 4
+	return r, nil
+}
+
+// appendRune is utf8.AppendRune without the import churn on old layouts.
+func appendRune(dst []byte, r rune) []byte {
+	switch {
+	case r < 0x80:
+		return append(dst, byte(r))
+	case r < 0x800:
+		return append(dst, 0xC0|byte(r>>6), 0x80|byte(r&0x3F))
+	case r < 0x10000:
+		return append(dst, 0xE0|byte(r>>12), 0x80|byte(r>>6&0x3F), 0x80|byte(r&0x3F))
+	default:
+		return append(dst, 0xF0|byte(r>>18), 0x80|byte(r>>12&0x3F), 0x80|byte(r>>6&0x3F), 0x80|byte(r&0x3F))
+	}
+}
+
+// uint consumes a decimal uint64.
+func (p *parser) uint() (uint64, error) {
+	start := p.i
+	var u uint64
+	for p.i < len(p.b) {
+		c := p.b[p.i]
+		if c < '0' || c > '9' {
+			break
+		}
+		d := uint64(c - '0')
+		if u > (1<<64-1-d)/10 {
+			return 0, p.errf("integer overflow")
+		}
+		u = u*10 + d
+		p.i++
+	}
+	if p.i == start {
+		return 0, p.errf("expected integer")
+	}
+	return u, nil
+}
+
+// int consumes a decimal int.
+func (p *parser) int() (int, error) {
+	neg := false
+	if p.peek() == '-' {
+		neg = true
+		p.i++
+	}
+	u, err := p.uint()
+	if err != nil {
+		return 0, err
+	}
+	if neg {
+		if u > 1<<63 {
+			return 0, p.errf("integer overflow")
+		}
+		return int(-int64(u)), nil
+	}
+	if u > 1<<63-1 {
+		return 0, p.errf("integer overflow")
+	}
+	return int(u), nil
+}
+
+// float consumes a JSON number as float64. The strconv.ParseFloat call does
+// not allocate for the short slices shortest-repr floats produce.
+func (p *parser) float() (float64, error) {
+	start := p.i
+	for p.i < len(p.b) {
+		c := p.b[p.i]
+		if c >= '0' && c <= '9' || c == '-' || c == '+' || c == '.' || c == 'e' || c == 'E' {
+			p.i++
+			continue
+		}
+		break
+	}
+	if p.i == start {
+		return 0, p.errf("expected number")
+	}
+	v, err := strconv.ParseFloat(string(p.b[start:p.i]), 64)
+	if err != nil {
+		return 0, p.errf("bad number %q", p.b[start:p.i])
+	}
+	return v, nil
+}
+
+// ParseNDJSON parses one NDJSON metrics line into r. The field order is the
+// Recorder's exact emission order (the v1 stream contract); anything else
+// is an error.
+func (r *Record) ParseNDJSON(line []byte) error {
+	r.reset()
+	p := parser{b: line}
+	if err := p.lit(`{"type":"`); err != nil {
+		return err
+	}
+	var err error
+	switch {
+	case p.tryLit(`sample"`):
+		r.Type = TypeSample
+		if err = p.lit(`,"config":`); err != nil {
+			return err
+		}
+		if r.Config, err = p.str(&r.scratch); err != nil {
+			return err
+		}
+		if err = p.lit(`,"workload":`); err != nil {
+			return err
+		}
+		if r.Workload, err = p.str(&r.scratch); err != nil {
+			return err
+		}
+		if err = p.lit(`,"seq":`); err != nil {
+			return err
+		}
+		if r.Seq, err = p.int(); err != nil {
+			return err
+		}
+		if err = p.lit(`,"kernel":`); err != nil {
+			return err
+		}
+		if r.Kernel, err = p.int(); err != nil {
+			return err
+		}
+		if err = r.parseSpan(&p); err != nil {
+			return err
+		}
+		if err = p.lit(`,"liveCTAs":`); err != nil {
+			return err
+		}
+		if r.LiveCTAs, err = p.int(); err != nil {
+			return err
+		}
+		if err = p.lit(`,"loads":`); err != nil {
+			return err
+		}
+		if r.Loads, err = p.int(); err != nil {
+			return err
+		}
+		if err = p.lit(`,"stores":`); err != nil {
+			return err
+		}
+		if r.Stores, err = p.int(); err != nil {
+			return err
+		}
+	case p.tryLit(`kernel"`):
+		r.Type = TypeKernel
+		if err = p.lit(`,"config":`); err != nil {
+			return err
+		}
+		if r.Config, err = p.str(&r.scratch); err != nil {
+			return err
+		}
+		if err = p.lit(`,"workload":`); err != nil {
+			return err
+		}
+		if r.Workload, err = p.str(&r.scratch); err != nil {
+			return err
+		}
+		if err = p.lit(`,"kernel":`); err != nil {
+			return err
+		}
+		if r.Kernel, err = p.int(); err != nil {
+			return err
+		}
+		if err = r.parseSpan(&p); err != nil {
+			return err
+		}
+	default:
+		return p.errf("unknown record type")
+	}
+	if err = r.parseBody(&p); err != nil {
+		return err
+	}
+	if err = p.lit("}"); err != nil {
+		return err
+	}
+	if p.i != len(p.b) {
+		return p.errf("trailing bytes")
+	}
+	return nil
+}
+
+// parseSpan consumes the shared start/end/events fields.
+func (r *Record) parseSpan(p *parser) error {
+	var err error
+	if err = p.lit(`,"start":`); err != nil {
+		return err
+	}
+	if r.Start, err = p.uint(); err != nil {
+		return err
+	}
+	if err = p.lit(`,"end":`); err != nil {
+		return err
+	}
+	if r.End, err = p.uint(); err != nil {
+		return err
+	}
+	if err = p.lit(`,"events":`); err != nil {
+		return err
+	}
+	if r.Events, err = p.uint(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// parseBody consumes the shared resources and caches arrays.
+func (r *Record) parseBody(p *parser) error {
+	if err := p.lit(`,"resources":`); err != nil {
+		return err
+	}
+	if !p.tryLit(`null`) {
+		if err := p.lit(`[`); err != nil {
+			return err
+		}
+		for p.peek() != ']' {
+			if len(r.Resources) > 0 {
+				if err := p.lit(`,`); err != nil {
+					return err
+				}
+			}
+			var res Resource
+			var err error
+			if err = p.lit(`{"name":`); err != nil {
+				return err
+			}
+			if res.Name, err = p.str(&r.scratch); err != nil {
+				return err
+			}
+			if err = p.lit(`,"kind":`); err != nil {
+				return err
+			}
+			if res.Kind, err = p.str(&r.scratch); err != nil {
+				return err
+			}
+			if err = p.lit(`,"gpm":`); err != nil {
+				return err
+			}
+			if res.GPM, err = p.int(); err != nil {
+				return err
+			}
+			if err = p.lit(`,"busy":`); err != nil {
+				return err
+			}
+			if res.Busy, err = p.float(); err != nil {
+				return err
+			}
+			if err = p.lit(`,"units":`); err != nil {
+				return err
+			}
+			if res.Units, err = p.uint(); err != nil {
+				return err
+			}
+			if err = p.lit(`,"util":`); err != nil {
+				return err
+			}
+			if res.Util, err = p.float(); err != nil {
+				return err
+			}
+			if err = p.lit(`}`); err != nil {
+				return err
+			}
+			r.Resources = append(r.Resources, res)
+		}
+		p.i++ // consume ']'
+	}
+	if err := p.lit(`,"caches":`); err != nil {
+		return err
+	}
+	if !p.tryLit(`null`) {
+		if err := p.lit(`[`); err != nil {
+			return err
+		}
+		for p.peek() != ']' {
+			if len(r.Caches) > 0 {
+				if err := p.lit(`,`); err != nil {
+					return err
+				}
+			}
+			var c Cache
+			var err error
+			if err = p.lit(`{"level":`); err != nil {
+				return err
+			}
+			if c.Level, err = p.str(&r.scratch); err != nil {
+				return err
+			}
+			if err = p.lit(`,"gpm":`); err != nil {
+				return err
+			}
+			if c.GPM, err = p.int(); err != nil {
+				return err
+			}
+			if err = p.lit(`,"hits":`); err != nil {
+				return err
+			}
+			if c.Hits, err = p.uint(); err != nil {
+				return err
+			}
+			if err = p.lit(`,"misses":`); err != nil {
+				return err
+			}
+			if c.Misses, err = p.uint(); err != nil {
+				return err
+			}
+			if err = p.lit(`}`); err != nil {
+				return err
+			}
+			r.Caches = append(r.Caches, c)
+		}
+		p.i++ // consume ']'
+	}
+	return nil
+}
+
+// csvCursor walks one CSV line field by field with RFC-4180 quote handling.
+// Quoted fields with embedded newlines are unsupported (the stream is
+// line-oriented; see DESIGN.md §9) and surface as unterminated-quote errors.
+type csvCursor struct {
+	b    []byte
+	i    int
+	n    int // fields consumed
+	done bool
+}
+
+func (c *csvCursor) errf(format string, args ...any) error {
+	return fmt.Errorf("metricstream: "+format+" (column %d)", append(args, c.n+1)...)
+}
+
+// field consumes the next field.
+func (c *csvCursor) field(scratch *[]byte) ([]byte, error) {
+	if c.done {
+		return nil, c.errf("too few columns")
+	}
+	defer func() { c.n++ }()
+	if c.i < len(c.b) && c.b[c.i] == '"' {
+		return c.quoted(scratch)
+	}
+	rest := c.b[c.i:]
+	if j := bytes.IndexByte(rest, ','); j >= 0 {
+		c.i += j + 1
+		return rest[:j], nil
+	}
+	c.i = len(c.b)
+	c.done = true
+	return rest, nil
+}
+
+// quoted consumes a quoted field, decoding "" into scratch when present.
+func (c *csvCursor) quoted(scratch *[]byte) ([]byte, error) {
+	c.i++ // opening quote
+	start := c.i
+	escaped := false
+	for c.i < len(c.b) {
+		if c.b[c.i] != '"' {
+			c.i++
+			continue
+		}
+		if c.i+1 < len(c.b) && c.b[c.i+1] == '"' {
+			escaped = true
+			c.i += 2
+			continue
+		}
+		// Closing quote.
+		raw := c.b[start:c.i]
+		c.i++
+		switch {
+		case c.i >= len(c.b):
+			c.done = true
+		case c.b[c.i] == ',':
+			c.i++
+		default:
+			return nil, c.errf("garbage after closing quote")
+		}
+		if !escaped {
+			return raw, nil
+		}
+		mark := len(*scratch)
+		out := *scratch
+		for k := 0; k < len(raw); k++ {
+			out = append(out, raw[k])
+			if raw[k] == '"' {
+				k++ // skip the doubled quote
+			}
+		}
+		*scratch = out
+		return out[mark:], nil
+	}
+	return nil, c.errf("unterminated quoted field")
+}
+
+// csvUint parses a CSV numeric field; empty means 0 (kernel and cache rows
+// leave inapplicable columns blank).
+func csvUint(f []byte, c *csvCursor) (uint64, error) {
+	if len(f) == 0 {
+		return 0, nil
+	}
+	v, err := strconv.ParseUint(string(f), 10, 64)
+	if err != nil {
+		return 0, c.errf("bad integer %q", f)
+	}
+	return v, nil
+}
+
+func csvInt(f []byte, c *csvCursor) (int, error) {
+	if len(f) == 0 {
+		return 0, nil
+	}
+	v, err := strconv.ParseInt(string(f), 10, 64)
+	if err != nil {
+		return 0, c.errf("bad integer %q", f)
+	}
+	return int(v), nil
+}
+
+func csvFloat(f []byte, c *csvCursor) (float64, error) {
+	if len(f) == 0 {
+		return 0, nil
+	}
+	v, err := strconv.ParseFloat(string(f), 64)
+	if err != nil {
+		return 0, c.errf("bad number %q", f)
+	}
+	return v, nil
+}
+
+// ParseCSV parses one long-format CSV data row into r: the record prefix
+// plus exactly one Resource (kind != "cache") or one Cache (kind ==
+// "cache"). The header row is not a data row; Scanner skips it.
+func (r *Record) ParseCSV(line []byte) error {
+	r.reset()
+	c := csvCursor{b: line}
+	typ, err := c.field(&r.scratch)
+	if err != nil {
+		return err
+	}
+	switch string(typ) {
+	case "sample":
+		r.Type = TypeSample
+	case "kernel":
+		r.Type = TypeKernel
+	default:
+		return c.errf("unknown record type %q", typ)
+	}
+	if r.Config, err = c.field(&r.scratch); err != nil {
+		return err
+	}
+	if r.Workload, err = c.field(&r.scratch); err != nil {
+		return err
+	}
+	f, err := c.field(&r.scratch)
+	if err != nil {
+		return err
+	}
+	if r.Seq, err = csvInt(f, &c); err != nil {
+		return err
+	}
+	if f, err = c.field(&r.scratch); err != nil {
+		return err
+	}
+	if r.Kernel, err = csvInt(f, &c); err != nil {
+		return err
+	}
+	if f, err = c.field(&r.scratch); err != nil {
+		return err
+	}
+	if r.Start, err = csvUint(f, &c); err != nil {
+		return err
+	}
+	if f, err = c.field(&r.scratch); err != nil {
+		return err
+	}
+	if r.End, err = csvUint(f, &c); err != nil {
+		return err
+	}
+	if f, err = c.field(&r.scratch); err != nil {
+		return err
+	}
+	if r.Events, err = csvUint(f, &c); err != nil {
+		return err
+	}
+	if f, err = c.field(&r.scratch); err != nil {
+		return err
+	}
+	if r.LiveCTAs, err = csvInt(f, &c); err != nil {
+		return err
+	}
+	if f, err = c.field(&r.scratch); err != nil {
+		return err
+	}
+	if r.Loads, err = csvInt(f, &c); err != nil {
+		return err
+	}
+	if f, err = c.field(&r.scratch); err != nil {
+		return err
+	}
+	if r.Stores, err = csvInt(f, &c); err != nil {
+		return err
+	}
+	kind, err := c.field(&r.scratch)
+	if err != nil {
+		return err
+	}
+	gpmF, err := c.field(&r.scratch)
+	if err != nil {
+		return err
+	}
+	gpm, err := csvInt(gpmF, &c)
+	if err != nil {
+		return err
+	}
+	name, err := c.field(&r.scratch)
+	if err != nil {
+		return err
+	}
+	busyF, err := c.field(&r.scratch)
+	if err != nil {
+		return err
+	}
+	unitsF, err := c.field(&r.scratch)
+	if err != nil {
+		return err
+	}
+	utilF, err := c.field(&r.scratch)
+	if err != nil {
+		return err
+	}
+	hitsF, err := c.field(&r.scratch)
+	if err != nil {
+		return err
+	}
+	missesF, err := c.field(&r.scratch)
+	if err != nil {
+		return err
+	}
+	if !c.done {
+		return c.errf("too many columns")
+	}
+	if string(kind) == "cache" {
+		var cc Cache
+		cc.Level = name
+		cc.GPM = gpm
+		if cc.Hits, err = csvUint(hitsF, &c); err != nil {
+			return err
+		}
+		if cc.Misses, err = csvUint(missesF, &c); err != nil {
+			return err
+		}
+		r.Caches = append(r.Caches, cc)
+		return nil
+	}
+	var res Resource
+	res.Name = name
+	res.Kind = kind
+	res.GPM = gpm
+	if res.Busy, err = csvFloat(busyF, &c); err != nil {
+		return err
+	}
+	if res.Units, err = csvUint(unitsF, &c); err != nil {
+		return err
+	}
+	if res.Util, err = csvFloat(utilF, &c); err != nil {
+		return err
+	}
+	r.Resources = append(r.Resources, res)
+	return nil
+}
+
+// Format identifies a stream encoding.
+type Format int8
+
+const (
+	// FormatAuto detects the encoding from the first data byte.
+	FormatAuto Format = iota
+	// FormatNDJSON forces NDJSON parsing.
+	FormatNDJSON
+	// FormatCSV forces long-format CSV parsing.
+	FormatCSV
+)
+
+const gzipMagic = "\x1f\x8b"
+
+// Scanner iterates a metrics stream record by record: transparent gzip
+// (sniffed by magic bytes), format autodetection, blank-line and CSV-header
+// skipping, and line-start offset tracking in the decompressed stream —
+// the offsets mcmstat derives reservoir tags from.
+type Scanner struct {
+	s      *bufio.Scanner
+	rec    Record
+	format Format
+	off    int64 // line start of the current record
+	next   int64 // line start of the next line
+	err    error
+}
+
+// NewScanner wraps r, decompressing when the stream opens with the gzip
+// magic. format is FormatAuto to sniff NDJSON vs CSV from the first line.
+func NewScanner(r io.Reader, format Format) (*Scanner, error) {
+	br := bufio.NewReaderSize(r, 256<<10)
+	if magic, _ := br.Peek(2); string(magic) == gzipMagic {
+		gz, err := gzip.NewReader(br)
+		if err != nil {
+			return nil, fmt.Errorf("metricstream: gzip: %w", err)
+		}
+		r = gz
+	} else {
+		r = br
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 64<<20)
+	sc.Split(scanKeepLines)
+	return &Scanner{s: sc, format: format}, nil
+}
+
+// scanKeepLines splits on '\n' without stripping '\r' (the writers never
+// emit it), so consumed bytes are always len(token)+1 and offset tracking
+// stays exact.
+func scanKeepLines(data []byte, atEOF bool) (int, []byte, error) {
+	if j := bytes.IndexByte(data, '\n'); j >= 0 {
+		return j + 1, data[:j], nil
+	}
+	if atEOF && len(data) > 0 {
+		return len(data), data, nil
+	}
+	return 0, nil, nil
+}
+
+// Scan advances to the next record. It returns false at end of stream or on
+// the first parse error (see Err).
+func (s *Scanner) Scan() bool {
+	if s.err != nil {
+		return false
+	}
+	for s.s.Scan() {
+		line := s.s.Bytes()
+		start := s.next
+		s.next += int64(len(line)) + 1
+		if len(line) == 0 {
+			continue
+		}
+		if s.format == FormatAuto {
+			if line[0] == '{' {
+				s.format = FormatNDJSON
+			} else {
+				s.format = FormatCSV
+			}
+		}
+		if s.format == FormatCSV && bytes.HasPrefix(line, []byte("type,")) {
+			continue // header row (possibly repeated across concatenated files)
+		}
+		var err error
+		if s.format == FormatNDJSON {
+			err = s.rec.ParseNDJSON(line)
+		} else {
+			err = s.rec.ParseCSV(line)
+		}
+		if err != nil {
+			s.err = fmt.Errorf("record at offset %d: %w", start, err)
+			return false
+		}
+		s.off = start
+		return true
+	}
+	s.err = s.s.Err()
+	return false
+}
+
+// Record returns the current record, valid until the next Scan.
+func (s *Scanner) Record() *Record { return &s.rec }
+
+// Offset returns the byte offset of the current record's line start in the
+// decompressed stream.
+func (s *Scanner) Offset() int64 { return s.off }
+
+// Err returns the first error encountered, if any.
+func (s *Scanner) Err() error { return s.err }
+
+// CreateOutput creates a metrics output file, transparently
+// gzip-compressing when path ends in ".gz". The bool reports whether the
+// stream should be CSV-encoded (a ".csv" or ".csv.gz" name).
+func CreateOutput(path string) (io.WriteCloser, bool, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, false, err
+	}
+	inner := strings.TrimSuffix(path, ".gz")
+	csv := strings.HasSuffix(inner, ".csv")
+	if inner != path {
+		return &gzipFile{gz: gzip.NewWriter(f), f: f}, csv, nil
+	}
+	return f, csv, nil
+}
+
+// gzipFile couples a gzip writer to its backing file so one Close flushes
+// and closes both.
+type gzipFile struct {
+	gz *gzip.Writer
+	f  *os.File
+}
+
+func (g *gzipFile) Write(p []byte) (int, error) { return g.gz.Write(p) }
+
+func (g *gzipFile) Close() error {
+	err := g.gz.Close()
+	if cerr := g.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
