@@ -218,15 +218,43 @@ func openInputs(opts *options) ([]*input, func(), error) {
 			continue
 		}
 		if in.format == metricstream.FormatAuto && in.size > 0 {
-			if head[0] == '{' {
-				in.format = metricstream.FormatNDJSON
-			} else {
-				in.format = metricstream.FormatCSV
+			if in.format, err = sniffFormat(f, in.size); err != nil {
+				closeAll()
+				return nil, nil, fmt.Errorf("%s: %w", path, err)
 			}
 		}
 		ins = append(ins, in)
 	}
 	return ins, closeAll, nil
+}
+
+// sniffFormat detects NDJSON vs CSV from the first byte of the first
+// non-empty line — the same rule the sequential Scanner applies — so a
+// leading blank line classifies a chunk-scanned file exactly like its
+// gzipped twin. A file of blank lines only stays FormatAuto (it parses to
+// zero rows either way).
+func sniffFormat(f *os.File, size int64) (metricstream.Format, error) {
+	var buf [4096]byte
+	for off := int64(0); off < size; {
+		n, err := f.ReadAt(buf[:], off)
+		for _, c := range buf[:n] {
+			if c == '\n' {
+				continue
+			}
+			if c == '{' {
+				return metricstream.FormatNDJSON, nil
+			}
+			return metricstream.FormatCSV, nil
+		}
+		if err == io.EOF || n == 0 {
+			break
+		}
+		if err != nil {
+			return metricstream.FormatAuto, err
+		}
+		off += int64(n)
+	}
+	return metricstream.FormatAuto, nil
 }
 
 func run(args []string, stdout io.Writer) error {
@@ -301,11 +329,14 @@ func runFast(opts *options, inputs []*input, out *bufio.Writer) (int64, int, err
 	}
 
 	// One scanning context per worker plus one for sequential inputs; the
-	// table half of -mem splits across them.
+	// table half of -mem splits across them. P² state is order-dependent
+	// and cannot merge (groupAgg.merge has no P² case), so under -q p2
+	// every input — even a chunkable regular file — scans through the
+	// single sequential context, in command-line order.
 	var chunks []chunk
 	var seqIns []*input
 	for _, in := range inputs {
-		if in.seq {
+		if in.seq || opts.mode == modeP2 {
 			seqIns = append(seqIns, in)
 			continue
 		}
@@ -317,9 +348,16 @@ func runFast(opts *options, inputs []*input, out *bufio.Writer) (int64, int, err
 			chunks = append(chunks, chunk{in: in, start: off, end: end})
 		}
 	}
-	nCtx := opts.j
+	nWorkers := opts.j
+	if len(chunks) == 0 {
+		nWorkers = 0
+	}
+	nCtx := nWorkers
 	if len(seqIns) > 0 {
 		nCtx++
+	}
+	if nCtx == 0 {
+		nCtx = 1 // every input empty: keep one context so emit still runs
 	}
 	budget := opts.mem / 2 / nCtx
 	if budget < 1<<16 {
@@ -334,8 +372,8 @@ func runFast(opts *options, inputs []*input, out *bufio.Writer) (int64, int, err
 	// with -j, and merges are commutative, so output does not depend on -j.
 	var next atomic.Int64
 	var wg sync.WaitGroup
-	errs := make([]error, opts.j)
-	for w := 0; w < opts.j; w++ {
+	errs := make([]error, nWorkers)
+	for w := 0; w < nWorkers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
@@ -354,7 +392,7 @@ func runFast(opts *options, inputs []*input, out *bufio.Writer) (int64, int, err
 	}
 	var seqErr error
 	if len(seqIns) > 0 {
-		c := ctxs[opts.j]
+		c := ctxs[nWorkers]
 		for _, in := range seqIns {
 			if _, err := c.processSequential(in); err != nil {
 				seqErr = err

@@ -273,6 +273,78 @@ func TestP2Mode(t *testing.T) {
 	}
 }
 
+// TestP2MixedInputs: -q p2 over a mix of chunkable (plain regular file)
+// and sequential (gzip) inputs must route everything through one
+// sequential context — P² state cannot merge, so a split scan would
+// silently drop one side's estimator state while still counting its rows.
+func TestP2MixedInputs(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.ndjson")
+	b := filepath.Join(dir, "b.ndjson")
+	genStream(t, a, false, 2, 60)
+	genStream(t, b, false, 3, 80)
+	raw, err := os.ReadFile(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bgz := filepath.Join(dir, "b.ndjson.gz")
+	gf, err := os.Create(bgz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zw := gzip.NewWriter(gf)
+	if _, err := zw.Write(raw); err != nil {
+		t.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := gf.Close(); err != nil {
+		t.Fatal(err)
+	}
+	fast := runStat(t, "-group", "kind", "-q", "p2", a, bgz)
+	naive := runStat(t, "-group", "kind", "-q", "p2", "-naive", a, bgz)
+	mustEqual(t, fast, naive, "p2 mixed plain+gzip vs naive")
+}
+
+// TestLeadingBlankLineSniff: format auto-detection must look at the first
+// non-empty line, so an NDJSON file with leading blank lines parses the
+// same through the chunked fast path, the naive path, and its gzipped
+// (Scanner-path) twin.
+func TestLeadingBlankLineSniff(t *testing.T) {
+	dir := t.TempDir()
+	nd := filepath.Join(dir, "s.ndjson")
+	genStream(t, nd, false, 2, 40)
+	raw, err := os.ReadFile(nd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blank := filepath.Join(dir, "blank.ndjson")
+	if err := os.WriteFile(blank, append([]byte("\n\n"), raw...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fast := runStat(t, "-group", "kind,gpm", blank)
+	naive := runStat(t, "-group", "kind,gpm", "-naive", blank)
+	mustEqual(t, fast, naive, "leading-blank-line fast vs naive")
+	gz := filepath.Join(dir, "blank.ndjson.gz")
+	gf, err := os.Create(gz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zw := gzip.NewWriter(gf)
+	if _, err := zw.Write(append([]byte("\n\n"), raw...)); err != nil {
+		t.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := gf.Close(); err != nil {
+		t.Fatal(err)
+	}
+	zipped := runStat(t, "-group", "kind,gpm", gz)
+	mustEqual(t, fast, zipped, "leading-blank-line plain vs gzip")
+}
+
 // TestP2CannotSpill: exceeding -mem under -q p2 is an error, not silent
 // wrong output.
 func TestP2CannotSpill(t *testing.T) {
