@@ -7,6 +7,7 @@
 //	experiments -exp fig4                # one experiment
 //	experiments -exp all -scale 0.5      # everything, half-size workloads
 //	experiments -exp fig15 -csv          # CSV for plotting
+//	experiments -exp all -store /var/lib/mcmgpu   # reuse prior runs from disk
 package main
 
 import (
@@ -27,7 +28,7 @@ import (
 
 // renderBars draws one bar chart per numeric column of the table, labeled
 // by the first column.
-func renderBars(t *mcmgpu.Table) {
+func renderBars(t *mcmgpu.Table) error {
 	drew := false
 	for col := 1; col < len(t.Headers); col++ {
 		numeric := len(t.Rows) > 0
@@ -46,22 +47,25 @@ func renderBars(t *mcmgpu.Table) {
 		}
 		b.Title = fmt.Sprintf("%s — %s", t.Title, t.Headers[col])
 		if err := b.WriteText(os.Stdout); err != nil {
-			fmt.Fprintln(os.Stderr, "experiments:", err)
-			os.Exit(1)
+			return err
 		}
 		fmt.Println()
 		drew = true
 	}
 	if !drew {
 		// Nothing numeric to draw; fall back to the table.
-		if err := t.WriteText(os.Stdout); err != nil {
-			fmt.Fprintln(os.Stderr, "experiments:", err)
-			os.Exit(1)
-		}
+		return t.WriteText(os.Stdout)
 	}
+	return nil
 }
 
-func main() {
+func main() { os.Exit(run()) }
+
+// run is main with an exit code instead of os.Exit calls, so every defer —
+// the profile stopper and the gzip'd -metrics writer in particular — gets
+// to Close, and a Close failure (the way a full disk reports a truncated
+// stream) fails the run loudly.
+func run() (code int) {
 	var (
 		exp       = flag.String("exp", "headline", "experiment id (table1..4, analytic, fig2..fig17, headline, all)")
 		scale     = flag.Float64("scale", 1.0, "workload scale factor")
@@ -79,17 +83,26 @@ func main() {
 		memProf   = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 		metricsF  = flag.String("metrics", "", "stream per-interval time-series samples of every simulation to this file (NDJSON, or CSV when the path ends in .csv; a .gz suffix gzips either)")
 		metricsIv = flag.Uint64("metrics-interval", 0, "sampling interval in cycles for -metrics (0 = default)")
+		storeDir  = flag.String("store", "", "durable run store directory: serve warm cells from disk and persist fresh ones")
 	)
 	flag.Parse()
 
+	fail := func(err error) int {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		return 1
+	}
+	warnf := func(format string, args ...interface{}) {
+		fmt.Fprintf(os.Stderr, "experiments: "+format+"\n", args...)
+	}
+
 	stopProf, err := prof.Start(*cpuProf, *memProf)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "experiments:", err)
-		os.Exit(1)
+		return fail(err)
 	}
 	defer func() {
 		if err := stopProf(); err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
+			code = 1
 		}
 	}()
 
@@ -104,13 +117,12 @@ func main() {
 		for _, id := range ids {
 			fmt.Println(id)
 		}
-		return
+		return 0
 	}
 
 	fault, err := faultinject.FromEnv()
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "experiments:", err)
-		os.Exit(1)
+		return fail(err)
 	}
 	opt := mcmgpu.Options{
 		Scale:          *scale,
@@ -125,16 +137,28 @@ func main() {
 	if *timeout > 0 {
 		opt.Deadline = time.Now().Add(*timeout)
 	}
+	if *storeDir != "" {
+		// An unopenable store degrades to plain compute, never a failure.
+		store, err := mcmgpu.OpenRunStore(*storeDir, warnf)
+		if err != nil {
+			warnf("store unavailable, computing without it: %v", err)
+		} else {
+			opt.Store = store
+			defer func() {
+				fmt.Fprintf(os.Stderr, "experiments: store: %v\n", store.Stats())
+			}()
+		}
+	}
 	if *metricsF != "" {
 		f, mcsv, err := metricstream.CreateOutput(*metricsF)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "experiments:", err)
-			os.Exit(1)
+			return fail(err)
 		}
 		defer func() {
+			// Close reports what Write buffered: a full disk surfaces here.
 			if err := f.Close(); err != nil {
 				fmt.Fprintln(os.Stderr, "experiments:", err)
-				os.Exit(1)
+				code = 1
 			}
 		}()
 		opt.Metrics = &mcmgpu.MetricsOptions{
@@ -165,7 +189,7 @@ func main() {
 	} else {
 		if _, ok := drivers[*exp]; !ok {
 			fmt.Fprintf(os.Stderr, "experiments: unknown id %q (have %v)\n", *exp, ids)
-			os.Exit(1)
+			return 1
 		}
 		run = []string{*exp}
 	}
@@ -180,20 +204,20 @@ func main() {
 				failedExps++
 				continue
 			}
-			os.Exit(1)
+			return 1
 		}
 		if *csv {
 			if err := t.WriteCSV(os.Stdout); err != nil {
-				fmt.Fprintln(os.Stderr, "experiments:", err)
-				os.Exit(1)
+				return fail(err)
 			}
 		} else if *bars {
-			renderBars(t)
+			if err := renderBars(t); err != nil {
+				return fail(err)
+			}
 			fmt.Printf("[%s in %v]\n\n", id, time.Since(start).Round(time.Millisecond))
 		} else {
 			if err := t.WriteText(os.Stdout); err != nil {
-				fmt.Fprintln(os.Stderr, "experiments:", err)
-				os.Exit(1)
+				return fail(err)
 			}
 			fmt.Printf("[%s in %v]\n\n", id, time.Since(start).Round(time.Millisecond))
 		}
@@ -207,6 +231,7 @@ func main() {
 	}
 	if failedCells || failedExps > 0 {
 		fmt.Fprintf(os.Stderr, "experiments: completed with failures (%d experiment(s) aborted)\n", failedExps)
-		os.Exit(1)
+		return 1
 	}
+	return code
 }

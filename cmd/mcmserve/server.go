@@ -1,0 +1,669 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"mcmgpu/internal/config"
+	"mcmgpu/internal/core"
+	"mcmgpu/internal/runner"
+	"mcmgpu/internal/runstore"
+	"mcmgpu/internal/runstore/client"
+	"mcmgpu/internal/workload"
+)
+
+// maxManifestBytes bounds a submission body; a manifest is configuration,
+// not data, so 16 MB is generous.
+const maxManifestBytes = 16 << 20
+
+// pendingFile is where a draining server persists its queued jobs, inside
+// the store directory (queued work is durable exactly when results are).
+const pendingFile = "pending.json"
+
+// pendingJob is one queued job persisted across a drain: the original wire
+// request plus the manifest-level bounds that participate in its identity.
+type pendingJob struct {
+	Req       client.JobRequest `json:"req"`
+	MaxEvents uint64            `json:"max_events,omitempty"`
+	MaxCycles uint64            `json:"max_cycles,omitempty"`
+	Audit     bool              `json:"audit,omitempty"`
+}
+
+// svcJob is the server's record of one deduplicated job. All fields after
+// the immutable identity block are guarded by server.mu.
+type svcJob struct {
+	id     string
+	key    string
+	req    client.JobRequest
+	job    runner.Job
+	limits core.RunOptions
+
+	state  string
+	source string
+	errMsg string
+	res    *core.Result
+	// refs counts live batches referencing the job; canceling a batch
+	// decrements it and the job itself is canceled at zero, so one
+	// client's cancel can never kill a cell another client still wants.
+	refs   int
+	ctx    context.Context
+	cancel context.CancelFunc
+}
+
+func (j *svcJob) statusLocked() client.JobStatus {
+	return client.JobStatus{
+		ID:       j.id,
+		State:    j.state,
+		Source:   j.source,
+		Error:    j.errMsg,
+		Workload: j.job.Spec.Name,
+		Config:   j.job.Config.Name,
+	}
+}
+
+type svcBatch struct {
+	id       string
+	jobIDs   []string
+	canceled bool
+}
+
+type server struct {
+	store    *runstore.Store // nil = degraded, memory-only service
+	cache    *runner.Cache
+	queueCap int
+	logf     func(format string, args ...interface{})
+
+	mu       sync.Mutex
+	cond     *sync.Cond // signals queue activity and stopping
+	queue    []*svcJob  // FIFO of jobs waiting for a worker
+	jobs     map[string]*svcJob
+	batches  map[string]*svcBatch
+	batchSeq int
+	draining bool
+	stopping bool
+
+	wg  sync.WaitGroup
+	mux *http.ServeMux
+}
+
+func newServer(store *runstore.Store, workers, queueCap int, logf func(string, ...interface{})) *server {
+	if logf == nil {
+		logf = func(string, ...interface{}) {}
+	}
+	if queueCap <= 0 {
+		queueCap = 256
+	}
+	s := &server{
+		store:    store,
+		cache:    runner.NewCache(),
+		queueCap: queueCap,
+		logf:     logf,
+		jobs:     map[string]*svcJob{},
+		batches:  map[string]*svcBatch{},
+	}
+	s.cond = sync.NewCond(&s.mu)
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/batches", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/batches/{id}", s.handleBatch)
+	s.mux.HandleFunc("GET /v1/batches/{id}/watch", s.handleWatch)
+	s.mux.HandleFunc("POST /v1/batches/{id}/cancel", s.handleCancelBatch)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	s.mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.handleCancelJob)
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /statsz", s.handleStats)
+	if workers > 0 {
+		s.startWorkers(workers)
+	}
+	s.recoverPending()
+	return s
+}
+
+func (s *server) startWorkers(n int) {
+	for i := 0; i < n; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+}
+
+// storeKey derives the durable identity of a parsed job under its limits —
+// the same key the local CLIs' runners use, so a cell simulated by sweep on
+// a laptop is a store hit here and vice versa.
+func storeKey(j runner.Job, limits core.RunOptions) string {
+	return (&runner.Runner{Limits: limits}).StoreKey(j)
+}
+
+// parseJob validates one wire request into a runnable job.
+func parseJob(req client.JobRequest) (runner.Job, error) {
+	if len(req.System) == 0 {
+		return runner.Job{}, errors.New("missing system configuration")
+	}
+	cfg, err := config.ReadJSON(bytes.NewReader(req.System))
+	if err != nil {
+		return runner.Job{}, fmt.Errorf("bad system configuration: %w", err)
+	}
+	spec, err := workload.ByName(req.Workload)
+	if err != nil {
+		return runner.Job{}, err
+	}
+	return runner.Job{Config: cfg, Spec: spec, Scale: req.Scale}, nil
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(client.ErrorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+func writeJSON(w http.ResponseWriter, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+// submit is the transport-independent submission path, shared by the HTTP
+// handler and pending-queue recovery. It deduplicates jobs against live
+// records and the store, enqueues the rest atomically (all or nothing
+// against the queue bound), and returns the new batch's status.
+func (s *server) submit(m client.Manifest) (*client.BatchStatus, int, error) {
+	if len(m.Jobs) == 0 {
+		return nil, http.StatusBadRequest, errors.New("manifest has no jobs")
+	}
+	limits := core.RunOptions{MaxEvents: m.MaxEvents, MaxCycles: m.MaxCycles, Audit: m.Audit}
+
+	type parsed struct {
+		req      client.JobRequest
+		job      runner.Job
+		key, id  string
+		storeHit bool
+		res      *core.Result
+	}
+	items := make([]parsed, len(m.Jobs))
+	for i, req := range m.Jobs {
+		job, err := parseJob(req)
+		if err != nil {
+			return nil, http.StatusBadRequest, fmt.Errorf("job %d: %w", i, err)
+		}
+		key := storeKey(job, limits)
+		items[i] = parsed{req: req, job: job, key: key, id: runstore.KeyID(key)}
+	}
+	// Probe the store outside the lock: warm cells become instantly-done
+	// jobs with no queue traffic. A store error here degrades to a queue
+	// slot (the worker recomputes), never to a failed submission.
+	if s.store != nil {
+		for i := range items {
+			if res, _, ok, err := s.store.Get(items[i].key); err == nil && ok {
+				items[i].storeHit = true
+				items[i].res = res
+			}
+		}
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return nil, http.StatusServiceUnavailable, errors.New("server is draining")
+	}
+	need := 0
+	counted := map[string]bool{}
+	for _, it := range items {
+		if it.storeHit || counted[it.id] {
+			continue
+		}
+		if j, ok := s.jobs[it.id]; ok && j.state != client.StateCanceled {
+			continue
+		}
+		counted[it.id] = true
+		need++
+	}
+	if len(s.queue)+need > s.queueCap {
+		return nil, http.StatusTooManyRequests,
+			fmt.Errorf("queue full (%d queued, %d new jobs, cap %d)", len(s.queue), need, s.queueCap)
+	}
+
+	s.batchSeq++
+	b := &svcBatch{id: fmt.Sprintf("b%06d", s.batchSeq)}
+	bs := &client.BatchStatus{ID: b.id, Done: true}
+	seen := map[string]bool{}
+	for _, it := range items {
+		j, live := s.jobs[it.id]
+		switch {
+		case live && j.state != client.StateCanceled:
+			// Deduplicated onto an existing record (possibly from another
+			// client's batch).
+		case it.storeHit:
+			j = &svcJob{
+				id: it.id, key: it.key, req: it.req, job: it.job, limits: limits,
+				state: client.StateDone, source: client.SourceStore, res: it.res,
+			}
+			s.jobs[it.id] = j
+		default:
+			ctx, cancel := context.WithCancel(context.Background())
+			j = &svcJob{
+				id: it.id, key: it.key, req: it.req, job: it.job, limits: limits,
+				state: client.StateQueued, ctx: ctx, cancel: cancel,
+			}
+			s.jobs[it.id] = j
+			s.queue = append(s.queue, j)
+			s.cond.Signal()
+		}
+		if !seen[it.id] {
+			seen[it.id] = true
+			if !jobDone(j.state) {
+				j.refs++
+			}
+		}
+		b.jobIDs = append(b.jobIDs, it.id)
+		bs.Jobs = append(bs.Jobs, j.statusLocked())
+		if !jobDone(j.state) {
+			bs.Done = false
+		}
+	}
+	s.batches[b.id] = b
+	return bs, http.StatusOK, nil
+}
+
+func jobDone(state string) bool {
+	return state == client.StateDone || state == client.StateFailed || state == client.StateCanceled
+}
+
+func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var m client.Manifest
+	body := http.MaxBytesReader(w, r.Body, maxManifestBytes)
+	if err := json.NewDecoder(body).Decode(&m); err != nil {
+		httpError(w, http.StatusBadRequest, "bad manifest: %v", err)
+		return
+	}
+	bs, code, err := s.submit(m)
+	if err != nil {
+		if code == http.StatusTooManyRequests {
+			w.Header().Set("Retry-After", "1")
+		}
+		httpError(w, code, "%v", err)
+		return
+	}
+	writeJSON(w, bs)
+}
+
+// worker pulls jobs off the queue until the server stops. In-flight jobs
+// always finish: stopping only prevents taking new work.
+func (s *server) worker() {
+	defer s.wg.Done()
+	for {
+		s.mu.Lock()
+		for len(s.queue) == 0 && !s.stopping {
+			s.cond.Wait()
+		}
+		if s.stopping {
+			s.mu.Unlock()
+			return
+		}
+		j := s.queue[0]
+		s.queue = s.queue[1:]
+		if j.state != client.StateQueued {
+			s.mu.Unlock() // canceled while queued
+			continue
+		}
+		j.state = client.StateRunning
+		s.mu.Unlock()
+		s.runOne(j)
+	}
+}
+
+// runOne executes one job through the store-backed runner: a cell another
+// client (or a past process) already computed is a store or cache hit, a
+// fresh cell is simulated and persisted, and store failures degrade to
+// compute inside the runner tier — a job never fails because the disk did.
+func (s *server) runOne(j *svcJob) {
+	source := client.SourceCompute
+	if s.store != nil {
+		// Re-probe: the cell may have been filled between submit and now.
+		if res, _, ok, err := s.store.Get(j.key); err == nil && ok {
+			s.finish(j, res, nil, client.SourceStore)
+			return
+		}
+	}
+	limits := j.limits
+	limits.Ctx = j.ctx
+	rr := &runner.Runner{
+		Workers: 1,
+		Cache:   s.cache,
+		Store:   s.store,
+		Limits:  limits,
+	}
+	results, err := rr.Run([]runner.Job{j.job})
+	if err != nil {
+		s.finish(j, nil, err, "")
+		return
+	}
+	s.finish(j, results[0], nil, source)
+}
+
+func (s *server) finish(j *svcJob, res *core.Result, err error, source string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch {
+	case err == nil:
+		j.state = client.StateDone
+		j.source = source
+		j.res = res
+	case j.ctx != nil && j.ctx.Err() != nil:
+		j.state = client.StateCanceled
+	default:
+		j.state = client.StateFailed
+		j.errMsg = err.Error()
+	}
+	s.logf("mcmserve: job %s (%s on %s) %s", j.id, j.job.Spec.Name, j.job.Config.Name, j.state)
+}
+
+func (s *server) batchStatusLocked(b *svcBatch) *client.BatchStatus {
+	bs := &client.BatchStatus{ID: b.id, Done: true}
+	for _, id := range b.jobIDs {
+		j := s.jobs[id]
+		bs.Jobs = append(bs.Jobs, j.statusLocked())
+		if !jobDone(j.state) {
+			bs.Done = false
+		}
+	}
+	return bs
+}
+
+func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	b, ok := s.batches[r.PathValue("id")]
+	if !ok {
+		s.mu.Unlock()
+		httpError(w, http.StatusNotFound, "no such batch")
+		return
+	}
+	bs := s.batchStatusLocked(b)
+	s.mu.Unlock()
+	writeJSON(w, bs)
+}
+
+// handleWatch streams batch status as NDJSON: one snapshot per state
+// change, final snapshot when the batch is done. This is the per-job
+// progress stream; curl .../watch renders a live view.
+func (s *server) handleWatch(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	flusher, _ := w.(http.Flusher)
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	enc := json.NewEncoder(w)
+	var last []byte
+	for {
+		s.mu.Lock()
+		b, ok := s.batches[id]
+		if !ok {
+			s.mu.Unlock()
+			httpError(w, http.StatusNotFound, "no such batch")
+			return
+		}
+		bs := s.batchStatusLocked(b)
+		s.mu.Unlock()
+		cur, _ := json.Marshal(bs)
+		if !bytes.Equal(cur, last) {
+			last = cur
+			if err := enc.Encode(bs); err != nil {
+				return
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+		if bs.Done {
+			return
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		case <-time.After(100 * time.Millisecond):
+		}
+	}
+}
+
+func (s *server) handleJob(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	j, ok := s.jobs[r.PathValue("id")]
+	if !ok {
+		s.mu.Unlock()
+		httpError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	js := j.statusLocked()
+	s.mu.Unlock()
+	writeJSON(w, js)
+}
+
+// handleResult serves a done job's result — from memory when this process
+// ran it, from the store otherwise (which is how a restarted server serves
+// results for jobs submitted to its predecessor).
+func (s *server) handleResult(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	var (
+		res   *core.Result
+		state string
+	)
+	if ok {
+		state = j.state
+		res = j.res
+	}
+	s.mu.Unlock()
+	if ok && state != client.StateDone {
+		httpError(w, http.StatusConflict, "job is %s", state)
+		return
+	}
+	if res == nil && s.store != nil {
+		var err error
+		res, _, ok, err = s.store.GetByID(id)
+		if err != nil {
+			// Environmental store failure: the result may exist but is
+			// unreadable right now. 503 so the client's retry loop gets
+			// another chance instead of treating it as gone.
+			httpError(w, http.StatusServiceUnavailable, "store unavailable: %v", err)
+			return
+		}
+		if !ok {
+			res = nil
+		}
+	}
+	if res == nil {
+		httpError(w, http.StatusNotFound, "no result for job")
+		return
+	}
+	writeJSON(w, res)
+}
+
+func (s *server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	j, ok := s.jobs[r.PathValue("id")]
+	if !ok {
+		s.mu.Unlock()
+		httpError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	s.cancelJobLocked(j)
+	js := j.statusLocked()
+	s.mu.Unlock()
+	writeJSON(w, js)
+}
+
+// cancelJobLocked cancels a non-terminal job: queued jobs flip to canceled
+// (workers skip them), running jobs get their context canceled and the
+// worker records the terminal state.
+func (s *server) cancelJobLocked(j *svcJob) {
+	switch j.state {
+	case client.StateQueued:
+		j.state = client.StateCanceled
+		if j.cancel != nil {
+			j.cancel()
+		}
+	case client.StateRunning:
+		if j.cancel != nil {
+			j.cancel()
+		}
+	}
+}
+
+func (s *server) handleCancelBatch(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	b, ok := s.batches[r.PathValue("id")]
+	if !ok {
+		s.mu.Unlock()
+		httpError(w, http.StatusNotFound, "no such batch")
+		return
+	}
+	if !b.canceled {
+		b.canceled = true
+		seen := map[string]bool{}
+		for _, id := range b.jobIDs {
+			if seen[id] {
+				continue
+			}
+			seen[id] = true
+			j := s.jobs[id]
+			if jobDone(j.state) {
+				continue
+			}
+			if j.refs > 0 {
+				j.refs--
+			}
+			if j.refs == 0 {
+				s.cancelJobLocked(j)
+			}
+		}
+	}
+	bs := s.batchStatusLocked(b)
+	s.mu.Unlock()
+	writeJSON(w, bs)
+}
+
+func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	writeJSON(w, map[string]interface{}{"status": "ok", "draining": draining})
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	depth := len(s.queue)
+	jobs := len(s.jobs)
+	batches := len(s.batches)
+	s.mu.Unlock()
+	out := map[string]interface{}{
+		"cache":       s.cache.Stats(),
+		"queue_depth": depth,
+		"jobs":        jobs,
+		"batches":     batches,
+	}
+	if s.store != nil {
+		out["store"] = s.store.Stats()
+	} else {
+		out["store"] = nil
+	}
+	writeJSON(w, out)
+}
+
+// drain is the graceful-shutdown path: refuse new submissions, let
+// in-flight jobs finish, and persist still-queued jobs next to the store
+// so a restarted server resumes them. Returns the number of jobs
+// persisted.
+func (s *server) drain() int {
+	s.mu.Lock()
+	s.draining = true
+	s.stopping = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	s.wg.Wait() // in-flight jobs finish
+
+	s.mu.Lock()
+	var pending []pendingJob
+	for _, j := range s.queue {
+		if j.state != client.StateQueued {
+			continue
+		}
+		pending = append(pending, pendingJob{
+			Req:       j.req,
+			MaxEvents: j.limits.MaxEvents,
+			MaxCycles: j.limits.MaxCycles,
+			Audit:     j.limits.Audit,
+		})
+	}
+	s.queue = nil
+	s.mu.Unlock()
+
+	if len(pending) == 0 {
+		return 0
+	}
+	if s.store == nil {
+		s.logf("mcmserve: no store directory; dropping %d queued job(s) on drain", len(pending))
+		return 0
+	}
+	if err := writeFileAtomic(filepath.Join(s.store.Dir(), pendingFile), pending); err != nil {
+		s.logf("mcmserve: persisting queued jobs failed: %v", err)
+		return 0
+	}
+	s.logf("mcmserve: persisted %d queued job(s) for the next server", len(pending))
+	return len(pending)
+}
+
+func writeFileAtomic(path string, v interface{}) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// recoverPending resumes jobs a predecessor persisted on drain. Grouped by
+// identical bounds into recovery batches so budgets survive the restart.
+func (s *server) recoverPending() {
+	if s.store == nil {
+		return
+	}
+	path := filepath.Join(s.store.Dir(), pendingFile)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return
+	}
+	os.Remove(path) // consumed; a later drain rewrites it
+	var pending []pendingJob
+	if err := json.Unmarshal(data, &pending); err != nil {
+		s.logf("mcmserve: unreadable %s (ignored): %v", pendingFile, err)
+		return
+	}
+	groups := map[string]*client.Manifest{}
+	for _, p := range pending {
+		gk := fmt.Sprintf("%d|%d|%v", p.MaxEvents, p.MaxCycles, p.Audit)
+		m, ok := groups[gk]
+		if !ok {
+			m = &client.Manifest{MaxEvents: p.MaxEvents, MaxCycles: p.MaxCycles, Audit: p.Audit}
+			groups[gk] = m
+		}
+		m.Jobs = append(m.Jobs, p.Req)
+	}
+	n := 0
+	for _, m := range groups {
+		if _, _, err := s.submit(*m); err != nil {
+			s.logf("mcmserve: recovering queued jobs failed: %v", err)
+			continue
+		}
+		n += len(m.Jobs)
+	}
+	if n > 0 {
+		s.logf("mcmserve: recovered %d queued job(s) from the previous server", n)
+	}
+}

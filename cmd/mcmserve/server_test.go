@@ -1,0 +1,358 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"mcmgpu/internal/config"
+	"mcmgpu/internal/runstore"
+	"mcmgpu/internal/runstore/client"
+)
+
+// testManifest builds a small manifest over the baseline MCM at a reduced
+// scale: cheap enough for unit tests, real enough to exercise the whole
+// submit → simulate → persist → serve pipeline.
+func testManifest(t *testing.T, workloads ...string) client.Manifest {
+	t.Helper()
+	var sys bytes.Buffer
+	if err := config.BaselineMCM().WriteJSON(&sys); err != nil {
+		t.Fatal(err)
+	}
+	var m client.Manifest
+	for _, wl := range workloads {
+		m.Jobs = append(m.Jobs, client.JobRequest{
+			System:   json.RawMessage(sys.String()),
+			Workload: wl,
+			Scale:    0.05,
+		})
+	}
+	return m
+}
+
+func testClient(t *testing.T, s *server) (*client.Client, func()) {
+	t.Helper()
+	ts := httptest.NewServer(s.mux)
+	c := &client.Client{
+		BaseURL: ts.URL,
+		Retries: 2,
+		Backoff: 5 * time.Millisecond,
+		Logf:    t.Logf,
+	}
+	return c, ts.Close
+}
+
+func mustOpenStore(t *testing.T, dir string) *runstore.Store {
+	t.Helper()
+	st, err := runstore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestSubmitComputeThenWarm is the service's dedupe contract end to end:
+// a cold submit computes, an identical resubmit to the same process is
+// instantly done, and a fresh server over the same store serves the whole
+// batch as store hits with zero new simulations.
+func TestSubmitComputeThenWarm(t *testing.T) {
+	dir := t.TempDir()
+	s := newServer(mustOpenStore(t, dir), 2, 16, t.Logf)
+	c, stop := testClient(t, s)
+	defer stop()
+
+	m := testManifest(t, "Stream", "CFD")
+	results, statuses, err := c.Run(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, js := range statuses {
+		if js.State != client.StateDone || js.Source != client.SourceCompute {
+			t.Fatalf("cold job %d: %+v, want done/compute", i, js)
+		}
+		if results[i] == nil {
+			t.Fatalf("cold job %d has no result", i)
+		}
+	}
+	puts := s.store.Stats().Puts
+	if puts != 2 {
+		t.Fatalf("cold run persisted %d results, want 2", puts)
+	}
+
+	// Same process, identical manifest: already-done records, no queue
+	// traffic, no new store writes.
+	bs, err := c.Submit(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bs.Done {
+		t.Fatalf("resubmit to the same process was not instantly done: %+v", bs)
+	}
+	if got := s.store.Stats().Puts; got != puts {
+		t.Fatalf("resubmit wrote %d new store entries", got-puts)
+	}
+
+	// A restarted server (fresh process state, same store): every cell is
+	// a store hit, zero simulations.
+	s2 := newServer(mustOpenStore(t, dir), 2, 16, t.Logf)
+	c2, stop2 := testClient(t, s2)
+	defer stop2()
+	warm, warmStatuses, err := c2.Run(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, js := range warmStatuses {
+		if js.State != client.StateDone || js.Source != client.SourceStore {
+			t.Fatalf("warm job %d: %+v, want done/store", i, js)
+		}
+		if !reflect.DeepEqual(warm[i], results[i]) {
+			t.Fatalf("warm job %d result differs from cold compute", i)
+		}
+	}
+	if st := s2.store.Stats(); st.Puts != 0 || st.Hits == 0 {
+		t.Fatalf("restarted server did not serve from the store: %+v", st)
+	}
+	if sims := s2.cache.Stats().Simulations(); sims != 0 {
+		t.Fatalf("restarted server ran %d simulations on a warm store", sims)
+	}
+}
+
+// TestResultAcrossRestart serves a result by content-derived job ID from a
+// server that never saw the submission — the GetByID path.
+func TestResultAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	s := newServer(mustOpenStore(t, dir), 1, 16, t.Logf)
+	c, stop := testClient(t, s)
+
+	results, statuses, err := c.Run(testManifest(t, "Stream"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop()
+	id := statuses[0].ID
+
+	s2 := newServer(mustOpenStore(t, dir), 1, 16, t.Logf)
+	c2, stop2 := testClient(t, s2)
+	defer stop2()
+	got, err := c2.Result(id)
+	if err != nil {
+		t.Fatalf("restarted server cannot serve result %s: %v", id, err)
+	}
+	if !reflect.DeepEqual(got, results[0]) {
+		t.Fatal("result served across restart differs from the original")
+	}
+}
+
+// TestQueueFullRejects asserts the bounded queue answers 429 without
+// accepting any of the batch — atomically, so a retried submission cannot
+// double-enqueue half a manifest.
+func TestQueueFullRejects(t *testing.T) {
+	s := newServer(nil, 0, 1, t.Logf) // no workers: nothing drains the queue
+	_, code, err := s.submit(testManifest(t, "Stream", "CFD"))
+	if err == nil || code != http.StatusTooManyRequests {
+		t.Fatalf("overfull submit: code %d err %v, want 429", code, err)
+	}
+	s.mu.Lock()
+	depth := len(s.queue)
+	s.mu.Unlock()
+	if depth != 0 {
+		t.Fatalf("rejected batch left %d jobs in the queue", depth)
+	}
+	if _, code, err := s.submit(testManifest(t, "Stream")); err != nil || code != http.StatusOK {
+		t.Fatalf("within-bound submit failed: code %d err %v", code, err)
+	}
+}
+
+// TestSubmitValidation rejects malformed manifests with 400s.
+func TestSubmitValidation(t *testing.T) {
+	s := newServer(nil, 0, 16, t.Logf)
+	if _, code, _ := s.submit(client.Manifest{}); code != http.StatusBadRequest {
+		t.Fatalf("empty manifest: code %d, want 400", code)
+	}
+	m := testManifest(t, "no-such-workload")
+	if _, code, _ := s.submit(m); code != http.StatusBadRequest {
+		t.Fatalf("unknown workload: code %d, want 400", code)
+	}
+	m = testManifest(t, "Stream")
+	m.Jobs[0].System = json.RawMessage(`{"modules": -3`)
+	if _, code, _ := s.submit(m); code != http.StatusBadRequest {
+		t.Fatalf("bad config JSON: code %d, want 400", code)
+	}
+}
+
+// TestCancelQueuedJob cancels a job before any worker takes it.
+func TestCancelQueuedJob(t *testing.T) {
+	s := newServer(nil, 0, 16, t.Logf)
+	c, stop := testClient(t, s)
+	defer stop()
+	bs, err := c.Submit(testManifest(t, "Stream"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := bs.Jobs[0].ID
+	if err := c.CancelJob(id); err != nil {
+		t.Fatal(err)
+	}
+	js, err := c.Job(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if js.State != client.StateCanceled {
+		t.Fatalf("canceled job is %q", js.State)
+	}
+	final, err := c.Batch(bs.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !final.Done {
+		t.Fatal("batch with only a canceled job is not done")
+	}
+	// A worker starting later must skip the canceled job, not run it.
+	s.startWorkers(1)
+	time.Sleep(50 * time.Millisecond)
+	if js, _ := c.Job(id); js.State != client.StateCanceled {
+		t.Fatalf("worker resurrected a canceled job: %q", js.State)
+	}
+}
+
+// TestBatchCancelRefcounting: a job referenced by two batches survives one
+// batch's cancellation and dies with the second — one client's cancel can
+// never kill a cell another client still wants.
+func TestBatchCancelRefcounting(t *testing.T) {
+	s := newServer(nil, 0, 16, t.Logf)
+	c, stop := testClient(t, s)
+	defer stop()
+	m := testManifest(t, "Stream")
+	b1, err := c.Submit(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := c.Submit(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := b1.Jobs[0].ID
+	if b2.Jobs[0].ID != id {
+		t.Fatalf("identical submissions got different IDs: %s vs %s", id, b2.Jobs[0].ID)
+	}
+	if err := c.CancelBatch(b1.ID); err != nil {
+		t.Fatal(err)
+	}
+	if js, _ := c.Job(id); js.State != client.StateQueued {
+		t.Fatalf("job canceled while another batch still references it: %q", js.State)
+	}
+	if err := c.CancelBatch(b2.ID); err != nil {
+		t.Fatal(err)
+	}
+	if js, _ := c.Job(id); js.State != client.StateCanceled {
+		t.Fatalf("job not canceled after losing its last reference: %q", js.State)
+	}
+}
+
+// TestDrainPersistsQueueAndRecovers is the graceful-drain contract: queued
+// jobs survive a drain as pending.json and the next server over the same
+// store resumes and completes them.
+func TestDrainPersistsQueueAndRecovers(t *testing.T) {
+	dir := t.TempDir()
+	s := newServer(mustOpenStore(t, dir), 0, 16, t.Logf) // no workers: jobs stay queued
+	bs, code, err := s.submit(testManifest(t, "Stream", "CFD"))
+	if err != nil {
+		t.Fatalf("submit: code %d err %v", code, err)
+	}
+	if n := s.drain(); n != 2 {
+		t.Fatalf("drain persisted %d jobs, want 2", n)
+	}
+	if _, err := os.Stat(filepath.Join(dir, pendingFile)); err != nil {
+		t.Fatalf("no pending.json after drain: %v", err)
+	}
+	// Draining servers refuse new work.
+	if _, code, _ := s.submit(testManifest(t, "GEMM")); code != http.StatusServiceUnavailable {
+		t.Fatalf("draining server accepted a submit (code %d)", code)
+	}
+
+	s2 := newServer(mustOpenStore(t, dir), 2, 16, t.Logf)
+	c2, stop := testClient(t, s2)
+	defer stop()
+	deadline := time.Now().Add(30 * time.Second)
+	for _, js := range bs.Jobs {
+		for {
+			cur, err := c2.Job(js.ID)
+			if err != nil {
+				t.Fatalf("recovered server lost job %s: %v", js.ID, err)
+			}
+			if cur.Done() {
+				if cur.State != client.StateDone {
+					t.Fatalf("recovered job %s finished %q: %s", js.ID, cur.State, cur.Error)
+				}
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("recovered job %s never finished (state %q)", js.ID, cur.State)
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+		if _, err := c2.Result(js.ID); err != nil {
+			t.Fatalf("recovered job %s has no result: %v", js.ID, err)
+		}
+	}
+	if _, err := os.Stat(filepath.Join(dir, pendingFile)); !os.IsNotExist(err) {
+		t.Fatal("pending.json not consumed by recovery")
+	}
+}
+
+// TestDegradedMemoryOnly: with no store at all the service still computes
+// and serves results — durability is lost, availability is not.
+func TestDegradedMemoryOnly(t *testing.T) {
+	s := newServer(nil, 1, 16, t.Logf)
+	c, stop := testClient(t, s)
+	defer stop()
+	results, statuses, err := c.Run(testManifest(t, "Stream"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if statuses[0].State != client.StateDone || statuses[0].Source != client.SourceCompute {
+		t.Fatalf("degraded job: %+v", statuses[0])
+	}
+	if results[0] == nil {
+		t.Fatal("degraded job has no result")
+	}
+}
+
+// TestWatchStreamsProgress: the watch endpoint emits NDJSON snapshots and
+// terminates with a done batch.
+func TestWatchStreamsProgress(t *testing.T) {
+	s := newServer(nil, 1, 16, t.Logf)
+	ts := httptest.NewServer(s.mux)
+	defer ts.Close()
+	c := &client.Client{BaseURL: ts.URL, Backoff: 5 * time.Millisecond, Logf: t.Logf}
+	bs, err := c.Submit(testManifest(t, "Stream"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(ts.URL + "/v1/batches/" + bs.ID + "/watch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	dec := json.NewDecoder(resp.Body)
+	var last client.BatchStatus
+	n := 0
+	for dec.More() {
+		if err := dec.Decode(&last); err != nil {
+			t.Fatal(err)
+		}
+		n++
+	}
+	if n == 0 {
+		t.Fatal("watch emitted no snapshots")
+	}
+	if !last.Done || last.Jobs[0].State != client.StateDone {
+		t.Fatalf("final watch snapshot not done: %+v", last)
+	}
+}

@@ -7,14 +7,17 @@
 //	mcmsim -system mcm-baseline -workload Stream
 //	mcmsim -system mcm-optimized -workload all -scale 0.5
 //	mcmsim -config machine.json -workload CoMD -json
+//	mcmsim -store /var/lib/mcmgpu -workload all   # reuse the durable run store
 //	mcmsim -dump-config mcm-optimized      # write a preset as JSON
 //	mcmsim -list
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
@@ -27,6 +30,8 @@ import (
 	"mcmgpu/internal/metricstream"
 	"mcmgpu/internal/prof"
 	"mcmgpu/internal/report"
+	"mcmgpu/internal/runner"
+	"mcmgpu/internal/runstore"
 	"mcmgpu/internal/trace"
 	"mcmgpu/internal/workload"
 )
@@ -42,7 +47,12 @@ var systems = map[string]func() *config.Config{
 	"multi-gpu-opt":      config.MultiGPUOptimized,
 }
 
-func main() {
+func main() { os.Exit(run()) }
+
+// run is main with an exit code instead of os.Exit calls, so every defer —
+// in particular the gzip'd -metrics writer's Close, whose error is how a
+// full disk announces a truncated stream — runs on every exit path.
+func run() (code int) {
 	var (
 		system  = flag.String("system", "mcm-baseline", "system preset to simulate")
 		app     = flag.String("workload", "Stream", "workload name, a category (m-intensive, c-intensive, limited), or 'all'")
@@ -62,34 +72,41 @@ func main() {
 		maxCycles = flag.Uint64("max-cycles", 0, "per-run simulated-cycle budget (0 = none)")
 		auditOn   = flag.Bool("audit", false, "check simulation invariants (conservation laws) during every run; MCMGPU_AUDIT=1 forces this on")
 		keepGoing = flag.Bool("keep-going", false, "continue to the next workload after a failed run; exit 1 at the end")
+		storeDir  = flag.String("store", "", "durable run store directory: serve warm (config, workload, scale) cells from disk and persist fresh ones")
 
 		metricsF  = flag.String("metrics", "", "stream per-interval time-series samples to this file (NDJSON, or CSV when the path ends in .csv; a .gz suffix gzips either)")
 		metricsIv = flag.Uint64("metrics-interval", uint64(metrics.DefaultInterval), "sampling interval in cycles for -metrics")
 	)
 	flag.Parse()
 
+	fail := func(err error) int {
+		fmt.Fprintln(os.Stderr, "mcmsim:", err)
+		return 1
+	}
+	warnf := func(format string, args ...interface{}) {
+		fmt.Fprintf(os.Stderr, "mcmsim: "+format+"\n", args...)
+	}
+
 	stopProf, err := prof.Start(*cpuProf, *memProf)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "mcmsim:", err)
-		os.Exit(1)
+		return fail(err)
 	}
 	defer func() {
 		if err := stopProf(); err != nil {
 			fmt.Fprintln(os.Stderr, "mcmsim:", err)
+			code = 1
 		}
 	}()
 
 	if *dump != "" {
 		mk, ok := systems[*dump]
 		if !ok {
-			fmt.Fprintf(os.Stderr, "mcmsim: unknown system %q\n", *dump)
-			os.Exit(1)
+			return fail(fmt.Errorf("unknown system %q", *dump))
 		}
 		if err := mk().WriteJSON(os.Stdout); err != nil {
-			fmt.Fprintln(os.Stderr, "mcmsim:", err)
-			os.Exit(1)
+			return fail(err)
 		}
-		return
+		return 0
 	}
 
 	if *list {
@@ -101,21 +118,18 @@ func main() {
 		for _, n := range workload.Names() {
 			fmt.Printf("  %s\n", n)
 		}
-		return
+		return 0
 	}
 
 	var cfg *config.Config
 	if *cfgF != "" {
-		var err error
 		if cfg, err = config.LoadFile(*cfgF); err != nil {
-			fmt.Fprintln(os.Stderr, "mcmsim:", err)
-			os.Exit(1)
+			return fail(err)
 		}
 	} else {
 		mk, ok := systems[*system]
 		if !ok {
-			fmt.Fprintf(os.Stderr, "mcmsim: unknown system %q\n", *system)
-			os.Exit(1)
+			return fail(fmt.Errorf("unknown system %q", *system))
 		}
 		cfg = mk()
 	}
@@ -126,112 +140,199 @@ func main() {
 
 	specs, err := selectWorkloads(*app)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "mcmsim:", err)
-		os.Exit(1)
+		return fail(err)
 	}
 
 	if *char {
 		if err := characterize(specs, *scale); err != nil {
-			fmt.Fprintln(os.Stderr, "mcmsim:", err)
-			os.Exit(1)
+			return fail(err)
 		}
-		return
+		return 0
 	}
 
 	fault, err := faultinject.FromEnv()
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "mcmsim:", err)
-		os.Exit(1)
+		return fail(err)
 	}
 	ropts := core.RunOptions{MaxEvents: *maxEvents, MaxCycles: *maxCycles, Audit: *auditOn}
 	if *timeout > 0 {
 		ropts.WallDeadline = time.Now().Add(*timeout)
 	}
 
+	var store *runstore.Store
+	if *storeDir != "" {
+		// An unopenable store degrades to plain compute: durability is an
+		// optimization, the simulation still runs.
+		if store, err = runstore.Open(*storeDir, runstore.WithLogf(warnf), runstore.WithFault(fault)); err != nil {
+			warnf("store unavailable, computing without it: %v", err)
+			store = nil
+		}
+	}
+
 	// One recorder serves all sequential runs; each run's records carry its
-	// own config/workload labels, so the streams concatenate cleanly.
-	var rec *metrics.Recorder
+	// own config/workload labels, so the streams concatenate cleanly. With a
+	// store attached, each run instead samples through its own recorder into
+	// a tee (output + capture buffer), so the stream can be persisted per
+	// run and replayed on store hits; the CSV header is then written once up
+	// front, exactly as the parallel runner's flush phase does.
+	var (
+		rec       *metrics.Recorder
+		metricsW  io.WriteCloser
+		metricsCSV bool
+	)
 	if *metricsF != "" {
 		f, csv, err := metricstream.CreateOutput(*metricsF)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "mcmsim:", err)
-			os.Exit(1)
+			return fail(err)
 		}
+		metricsW, metricsCSV = f, csv
 		defer func() {
 			if err := f.Close(); err != nil {
 				fmt.Fprintln(os.Stderr, "mcmsim:", err)
-				os.Exit(1)
+				code = 1
 			}
 		}()
-		rec = metrics.NewRecorder(f, engine.Cycle(*metricsIv), csv)
-		ropts.Metrics = rec
+		if store == nil {
+			rec = metrics.NewRecorder(f, engine.Cycle(*metricsIv), csv)
+			ropts.Metrics = rec
+		} else if csv {
+			if _, err := io.WriteString(f, metrics.CSVHeader+"\n"); err != nil {
+				return fail(err)
+			}
+		}
+	}
+
+	// keyRunner derives store keys exactly the way the parallel runner and
+	// mcmserve do, so all three share warm cells.
+	keyRunner := &runner.Runner{Limits: ropts0(ropts), Fault: fault}
+	if store != nil && metricsW != nil {
+		keyRunner.Metrics = &runner.MetricsOptions{Interval: *metricsIv, W: io.Discard, CSV: metricsCSV}
 	}
 
 	failed := 0
 	for _, spec := range specs {
-		run := spec
+		runSpec := spec
 		if *scale != 1.0 {
-			run = spec.Scaled(*scale)
+			runSpec = spec.Scaled(*scale)
 		}
+		job := runner.Job{Config: cfg, Spec: spec, Scale: *scale}
+		var key string
+		if store != nil {
+			key = keyRunner.StoreKey(job)
+			res, stream, ok, err := store.Get(key)
+			if err != nil {
+				warnf("store read failed, computing: %v", err)
+			}
+			if ok {
+				if metricsW != nil && len(stream) > 0 {
+					if _, err := metricsW.Write(stream); err != nil {
+						return fail(err)
+					}
+				}
+				if err := printResult(res, *asJSON, *v); err != nil {
+					return fail(err)
+				}
+				if metricsW != nil {
+					warnf("%s on %s: served from store; summary tables skipped (stream replayed, sampling not re-run)",
+						runSpec.Name, cfg.Name)
+				}
+				warnClamped(res, runSpec.Name)
+				continue
+			}
+		}
+
 		m, err := core.New(cfg.Clone())
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "mcmsim:", err)
-			os.Exit(1)
+			return fail(err)
 		}
 		specOpts := ropts
-		if fault.Matches(run.Name) {
+		if fault.Matches(runSpec.Name) {
 			specOpts.Fault = fault
 		}
-		res, err := m.RunWith(run, specOpts)
+		var capture *bytes.Buffer
+		runRec := rec
+		if store != nil && metricsW != nil {
+			capture = &bytes.Buffer{}
+			runRec = metrics.NewRecorder(io.MultiWriter(metricsW, capture), engine.Cycle(*metricsIv), metricsCSV)
+			runRec.OmitCSVHeader()
+			specOpts.Metrics = runRec
+		}
+		res, err := m.RunWith(runSpec, specOpts)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "mcmsim:", err)
 			if *keepGoing {
 				failed++
 				continue
 			}
-			os.Exit(1)
+			return 1
 		}
-		if *asJSON {
-			enc := json.NewEncoder(os.Stdout)
-			enc.SetIndent("", "  ")
-			if err := enc.Encode(res); err != nil {
-				fmt.Fprintln(os.Stderr, "mcmsim:", err)
-				os.Exit(1)
+		if store != nil {
+			var stream []byte
+			if capture != nil {
+				stream = capture.Bytes()
 			}
-			continue
+			_ = store.Put(key, res, stream) // best-effort; failures are logged by the store
 		}
-		fmt.Println(res)
-		if *v {
-			fmt.Printf("  instrs=%d memops=%d reads=%d writes=%d\n",
-				res.WarpInstrs, res.MemOps, res.LineReads, res.LineWrites)
-			// Hit rates render as a dash when a level was never accessed
-			// (disabled L1.5, all-hit upper level), not as a fake 0%.
-			fmt.Printf("  L1=%s L1.5=%s L2=%s dramBytes=%d dramUtil avg=%.2f peak=%.2f linkUtil=%.2f pages=%d\n",
-				rate(res.L1HitRate, res.L1Accesses > 0),
-				rate(res.L15HitRate, res.L15Accesses > 0),
-				rate(res.L2HitRate, res.L2Accesses > 0),
-				res.DRAMBytes, res.AvgDRAMUtil, res.PeakDRAMUtil, res.MaxLinkUtil, res.MappedPages)
-			e := res.EnergyPJ
-			fmt.Printf("  energy(pJ): chip=%.0f package=%.0f board=%.0f dram=%.0f total=%.0f\n",
-				e.Chip, e.Package, e.Board, e.DRAM, e.Total)
+		if err := printResult(res, *asJSON, *v); err != nil {
+			return fail(err)
 		}
-		if rec != nil {
-			for _, tbl := range rec.Summary().Tables() {
+		if runRec != nil {
+			for _, tbl := range runRec.Summary().Tables() {
 				fmt.Println()
 				if err := tbl.WriteText(os.Stdout); err != nil {
-					fmt.Fprintln(os.Stderr, "mcmsim:", err)
-					os.Exit(1)
+					return fail(err)
 				}
 			}
 		}
-		if res.ClampedEvents > 0 {
-			fmt.Fprintf(os.Stderr, "mcmsim: warning: %s clamped %d event(s) to the current cycle\n",
-				run.Name, res.ClampedEvents)
-		}
+		warnClamped(res, runSpec.Name)
+	}
+	if store != nil {
+		fmt.Fprintf(os.Stderr, "mcmsim: store: %v\n", store.Stats())
 	}
 	if failed > 0 {
 		fmt.Fprintf(os.Stderr, "mcmsim: %d of %d workloads failed\n", failed, len(specs))
-		os.Exit(1)
+		return 1
+	}
+	return 0
+}
+
+// ropts0 strips the per-run sampler from the options used for key
+// derivation (the runner models sampling through its own MetricsOptions).
+func ropts0(o core.RunOptions) core.RunOptions {
+	o.Metrics = nil
+	return o
+}
+
+// printResult renders one run the way mcmsim always has: JSON with -json,
+// one-line summary plus optional -v detail otherwise.
+func printResult(res *core.Result, asJSON, verbose bool) error {
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(res)
+	}
+	fmt.Println(res)
+	if verbose {
+		fmt.Printf("  instrs=%d memops=%d reads=%d writes=%d\n",
+			res.WarpInstrs, res.MemOps, res.LineReads, res.LineWrites)
+		// Hit rates render as a dash when a level was never accessed
+		// (disabled L1.5, all-hit upper level), not as a fake 0%.
+		fmt.Printf("  L1=%s L1.5=%s L2=%s dramBytes=%d dramUtil avg=%.2f peak=%.2f linkUtil=%.2f pages=%d\n",
+			rate(res.L1HitRate, res.L1Accesses > 0),
+			rate(res.L15HitRate, res.L15Accesses > 0),
+			rate(res.L2HitRate, res.L2Accesses > 0),
+			res.DRAMBytes, res.AvgDRAMUtil, res.PeakDRAMUtil, res.MaxLinkUtil, res.MappedPages)
+		e := res.EnergyPJ
+		fmt.Printf("  energy(pJ): chip=%.0f package=%.0f board=%.0f dram=%.0f total=%.0f\n",
+			e.Chip, e.Package, e.Board, e.DRAM, e.Total)
+	}
+	return nil
+}
+
+func warnClamped(res *core.Result, name string) {
+	if res.ClampedEvents > 0 {
+		fmt.Fprintf(os.Stderr, "mcmsim: warning: %s clamped %d event(s) to the current cycle\n",
+			name, res.ClampedEvents)
 	}
 }
 

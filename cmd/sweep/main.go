@@ -18,6 +18,9 @@
 // Phase 2 is submitted as one job list to the parallel runner (baseline
 // suite first), so simulations fan out across -j workers and the memoized
 // run cache deduplicates repeats. Output is byte-identical for any -j.
+// With -store DIR the runner gains a durable tier: cells any prior process
+// simulated are served from disk, fresh ones are persisted. With -server
+// URL phase 2 is executed remotely by a shared mcmserve instance instead.
 //
 // Usage:
 //
@@ -25,10 +28,13 @@
 //	sweep -analytic-only                 # phase 1 only: no engine events
 //	sweep -refine 4                      # simulate the frontier + top cells, >= 4 total
 //	sweep -phase2-frac 1 -scale 0.5      # legacy full simulation
+//	sweep -store /var/lib/mcmgpu         # durable cross-process result reuse
+//	sweep -server http://mcmserve:8037   # run phase 2 on the shared service
 //	sweep -workloads m-intensive -csv out.csv -bench-json BENCH_sweep.json
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -48,11 +54,19 @@ import (
 	"mcmgpu/internal/metricstream"
 	"mcmgpu/internal/report"
 	"mcmgpu/internal/runner"
+	"mcmgpu/internal/runstore"
+	"mcmgpu/internal/runstore/client"
 	"mcmgpu/internal/stats"
 	"mcmgpu/internal/workload"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+// run is main with an exit code instead of os.Exit calls, so every defer —
+// the gzip'd -metrics writer and the -csv file in particular — gets to
+// Close, and a Close failure (the way a full disk reports a truncated
+// stream) fails the run loudly.
+func run() (code int) {
 	var (
 		links     = flag.String("links", "384,768,1536,3072", "comma-separated inter-GPM link bandwidths (GB/s)")
 		l15s      = flag.String("l15", "0,8,16", "comma-separated total L1.5 capacities (MB, 0 = none)")
@@ -72,26 +86,36 @@ func main() {
 		refine    = flag.Int("refine", 0, "number of cells to re-simulate in phase 2 (0 = use -phase2-frac); frontier cells are simulated first")
 		p2Frac    = flag.Float64("phase2-frac", 0.25, "fraction of grid cells to re-simulate in phase 2 (1 = simulate everything)")
 		benchJSON = flag.String("bench-json", "", "write phase throughput numbers (cells/sec analytic vs cycle-level) to this JSON file")
+		storeDir  = flag.String("store", "", "durable run store directory: serve warm cells from disk and persist fresh ones")
+		server    = flag.String("server", "", "mcmserve URL: run phase 2 remotely on the shared service instead of in-process")
 	)
 	flag.Parse()
 
+	fail := func(err error) int {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		return 1
+	}
+	warnf := func(format string, args ...interface{}) {
+		fmt.Fprintf(os.Stderr, "sweep: "+format+"\n", args...)
+	}
+
 	linkVals, err := parseFloats(*links)
 	if err != nil {
-		fail(err)
+		return fail(err)
 	}
 	l15Vals, err := parseInts(*l15s)
 	if err != nil {
-		fail(err)
+		return fail(err)
 	}
 	specs, err := selectWorkloads(*wl)
 	if err != nil {
-		fail(err)
+		return fail(err)
 	}
 	if *p2Frac < 0 || *p2Frac > 1 || math.IsNaN(*p2Frac) {
-		fail(fmt.Errorf("-phase2-frac %v out of range [0,1]", *p2Frac))
+		return fail(fmt.Errorf("-phase2-frac %v out of range [0,1]", *p2Frac))
 	}
 	if *refine < 0 {
-		fail(fmt.Errorf("-refine %d must be >= 0", *refine))
+		return fail(fmt.Errorf("-refine %d must be >= 0", *refine))
 	}
 
 	cfgs := buildGrid(l15Vals, linkVals, *opts)
@@ -99,7 +123,17 @@ func main() {
 
 	fault, err := faultinject.FromEnv()
 	if err != nil {
-		fail(err)
+		return fail(err)
+	}
+	if *server != "" {
+		// The remote server cannot reproduce local-only run shaping, so
+		// refuse combinations that would silently change results.
+		if *metricsF != "" {
+			return fail(errors.New("-server does not support -metrics (the service does not sample); drop one"))
+		}
+		if fault.Enabled() && !fault.IsStore() {
+			return fail(errors.New("-server cannot apply a local simulation fault plan; unset MCMGPU_FAULT or run locally"))
+		}
 	}
 	limits := core.RunOptions{MaxEvents: *maxEvents, Audit: *auditOn}
 	if *timeout > 0 {
@@ -115,14 +149,27 @@ func main() {
 		r.Cache = runner.Shared()
 		r.EstCache = runner.SharedEstimates()
 	}
+	if *storeDir != "" {
+		// An unopenable store degrades to plain compute, never a failure.
+		store, err := runstore.Open(*storeDir, runstore.WithLogf(warnf), runstore.WithFault(fault))
+		if err != nil {
+			warnf("store unavailable, computing without it: %v", err)
+		} else {
+			r.Store = store
+			defer func() {
+				fmt.Fprintf(os.Stderr, "sweep: store: %v\n", store.Stats())
+			}()
+		}
+	}
 	if *metricsF != "" {
 		f, csv, err := metricstream.CreateOutput(*metricsF)
 		if err != nil {
-			fail(err)
+			return fail(err)
 		}
 		defer func() {
 			if err := f.Close(); err != nil {
-				fail(err)
+				fmt.Fprintln(os.Stderr, "sweep:", err)
+				code = 1
 			}
 		}()
 		r.Metrics = &runner.MetricsOptions{
@@ -138,7 +185,7 @@ func main() {
 	p1Start := time.Now()
 	scores, estSpeedups, err := scoreGrid(r, base, cfgs, specs, *scale)
 	if err != nil {
-		fail(err)
+		return fail(err)
 	}
 	p1Dur := time.Since(p1Start)
 	fmt.Fprintf(os.Stderr, "sweep: phase 1 scored %d cells analytically in %v\n",
@@ -177,12 +224,20 @@ func main() {
 			addSuite(cfgs[ci])
 		}
 		p2Start := time.Now()
-		results, err := r.Run(jobList)
+		var (
+			results []*core.Result
+			err     error
+		)
+		if *server != "" {
+			results, err = runRemote(*server, jobList, *maxEvents, *auditOn, warnf)
+		} else {
+			results, err = r.Run(jobList)
+		}
 		p2Dur = time.Since(p2Start)
 		if err != nil {
 			var jerrs runner.JobErrors
 			if !*keepGoing || !errors.As(err, &jerrs) {
-				fail(err)
+				return fail(err)
 			}
 			failedCells = true
 			for _, je := range jerrs {
@@ -212,9 +267,15 @@ func main() {
 	if *csvOut != "" {
 		f, err := os.Create(*csvOut)
 		if err != nil {
-			fail(err)
+			return fail(err)
 		}
-		defer f.Close()
+		defer func() {
+			// Close reports what Write buffered: a full disk surfaces here.
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "sweep:", err)
+				code = 1
+			}
+		}()
 		out = f
 	}
 	if !renderGrid(out, l15Vals, linkVals, estSpeedups, simSpeedups) {
@@ -230,13 +291,63 @@ func main() {
 			Phase1Seconds:  p1Dur.Seconds(),
 			Phase2Seconds:  p2Dur.Seconds(),
 		}); err != nil {
-			fail(err)
+			return fail(err)
 		}
 	}
 	if failedCells {
 		fmt.Fprintln(os.Stderr, "sweep: completed with failed cells")
-		os.Exit(1)
+		return 1
 	}
+	return code
+}
+
+// runRemote executes the phase 2 job list on a shared mcmserve instance.
+// Job identity is content-derived on the server, so resubmitting after a
+// transport failure is idempotent, and cells any client already ran come
+// back from the service's durable store without a simulation. Failed or
+// canceled jobs map to nil result slots plus a runner.JobErrors — exactly
+// what the local r.Run contract gives -keep-going.
+func runRemote(baseURL string, jobList []runner.Job, maxEvents uint64, audit bool, warnf func(string, ...interface{})) ([]*core.Result, error) {
+	m := client.Manifest{
+		MaxEvents: maxEvents,
+		Audit:     audit,
+	}
+	for _, j := range jobList {
+		var buf bytes.Buffer
+		if err := j.Config.WriteJSON(&buf); err != nil {
+			return nil, fmt.Errorf("encode config %s: %w", j.Config.Name, err)
+		}
+		m.Jobs = append(m.Jobs, client.JobRequest{
+			System:   json.RawMessage(buf.Bytes()),
+			Workload: j.Spec.Name,
+			Scale:    j.Scale,
+		})
+	}
+	c := &client.Client{BaseURL: baseURL, Logf: warnf}
+	results, statuses, err := c.Run(m)
+	if err != nil {
+		return nil, err
+	}
+	var jerrs runner.JobErrors
+	for i, st := range statuses {
+		if st.State == client.StateDone {
+			continue
+		}
+		msg := st.Error
+		if msg == "" {
+			msg = st.State
+		}
+		jerrs = append(jerrs, &runner.JobError{
+			Index:    i,
+			Workload: jobList[i].Spec.Name,
+			Config:   jobList[i].Config.Name,
+			Err:      fmt.Errorf("remote job %s: %s", st.ID, msg),
+		})
+	}
+	if len(jerrs) > 0 {
+		return results, jerrs
+	}
+	return results, nil
 }
 
 // buildGrid builds every grid-point configuration, row-major over
@@ -506,9 +617,4 @@ func parseInts(s string) ([]int, error) {
 		out = append(out, v)
 	}
 	return out, nil
-}
-
-func fail(err error) {
-	fmt.Fprintln(os.Stderr, "sweep:", err)
-	os.Exit(1)
 }

@@ -67,6 +67,13 @@ type Options struct {
 	// so pair Metrics with NoCache to re-stream previously cached suites.
 	// CLIs arm it from -metrics / -metrics-interval.
 	Metrics *MetricsOptions
+	// Store, when non-nil, adds a durable content-addressed tier under the
+	// run cache: warm cells are served from disk (metrics streams replayed)
+	// and fresh results persisted, so identical work is simulated at most
+	// once across processes. Store failures degrade to compute — an
+	// unreadable entry is recomputed, never an error. CLIs arm it from
+	// -store DIR; see OpenRunStore.
+	Store *RunStore
 }
 
 // warnf emits a diagnostic when a sink is configured.

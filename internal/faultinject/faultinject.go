@@ -55,6 +55,38 @@ const (
 	// exactly one audited invariant, so the corrupt-counter plan family
 	// proves check by check that the auditor actually fires.
 	CorruptCounter
+
+	// The store fault family targets internal/runstore's durable I/O
+	// instead of the event loop. A store plan is counted in store
+	// operations rather than engine events: AtEvent is the zero-based
+	// sequence number of the first matching store operation the fault
+	// applies to (and it keeps applying to every later matching operation),
+	// and the filter after ':' restricts the fault to store keys containing
+	// that substring. Store plans never match simulation runs (see
+	// Matches), so arming one through MCMGPU_FAULT perturbs only the
+	// durability layer under an otherwise healthy sweep — which is what
+	// lets CI prove each recovery path (quarantine, rebuild, recompute)
+	// fires without also corrupting the simulation it recovers.
+
+	// StoreTornWrite makes a store write bypass the atomic
+	// temp-file+rename protocol and leave a truncated file at the final
+	// path — the on-disk artifact of a crash or power loss mid-write. The
+	// write reports success (the corruption is silent, as it would be), so
+	// only read-time SHA-256 verification or open-time index rebuild can
+	// catch it.
+	StoreTornWrite
+	// StoreCorruptBlob flips a byte of a blob's content as it is written,
+	// modeling bit rot: the file is complete and well-formed but its
+	// content no longer matches the checksum it is addressed by.
+	StoreCorruptBlob
+	// StoreEIO fails a store read or write with an injected I/O error,
+	// exercising the degrade-to-compute path: the caller must log and
+	// recompute, never fail the job or serve a partial result.
+	StoreEIO
+	// StoreSlowIO sleeps briefly on matching store operations, modeling a
+	// saturated disk; it proves timeouts and progress reporting survive a
+	// slow store rather than wedging on it.
+	StoreSlowIO
 )
 
 // Valid corrupt-counter targets. Each names the counter internal/core
@@ -111,6 +143,14 @@ func (k Kind) String() string {
 		return "corrupt"
 	case CorruptCounter:
 		return "corrupt-counter"
+	case StoreTornWrite:
+		return "store-torn-write"
+	case StoreCorruptBlob:
+		return "store-corrupt-blob"
+	case StoreEIO:
+		return "store-eio"
+	case StoreSlowIO:
+		return "store-slow-io"
 	}
 	return fmt.Sprintf("Kind(%d)", int(k))
 }
@@ -121,10 +161,13 @@ type Plan struct {
 	Kind Kind
 	// AtEvent arms the fault to fire at the first periodic check after the
 	// run has dispatched at least this many events. 0 fires at the first
-	// check.
+	// check. Store kinds count store operations instead: the fault applies
+	// to every matching operation whose zero-based sequence number is >=
+	// AtEvent.
 	AtEvent uint64
 	// Workload, when non-empty, restricts the fault to runs of the workload
-	// with this name; other runs are untouched.
+	// with this name; other runs are untouched. Store kinds reuse the field
+	// as a store-key substring filter (see MatchesStore).
 	Workload string
 	// Target selects which counter a CorruptCounter plan perturbs (one of
 	// the Target* constants); empty for every other kind.
@@ -134,9 +177,30 @@ type Plan struct {
 // Enabled reports whether the plan injects anything.
 func (p Plan) Enabled() bool { return p.Kind != None }
 
+// IsStore reports whether the plan targets the run store's durable I/O
+// rather than the simulation event loop.
+func (p Plan) IsStore() bool {
+	switch p.Kind {
+	case StoreTornWrite, StoreCorruptBlob, StoreEIO, StoreSlowIO:
+		return true
+	}
+	return false
+}
+
 // Matches reports whether the plan applies to a run of the named workload.
+// Store plans never match a simulation run: they are consumed by the store
+// layer (see MatchesStore), and letting them leak into engine options would
+// both perturb cache keys and hand core a fault it cannot perform.
 func (p Plan) Matches(workload string) bool {
-	return p.Enabled() && (p.Workload == "" || p.Workload == workload)
+	return p.Enabled() && !p.IsStore() && (p.Workload == "" || p.Workload == workload)
+}
+
+// MatchesStore reports whether a store plan applies to an operation on the
+// given store key. The plan's filter (the part after ':') is a substring
+// match so one plan can target a single entry ("...:Stream") or a whole key
+// family without quoting full fingerprints.
+func (p Plan) MatchesStore(key string) bool {
+	return p.IsStore() && (p.Workload == "" || strings.Contains(key, p.Workload))
 }
 
 // String renders the plan in the syntax Parse accepts ("" when disabled).
@@ -157,8 +221,10 @@ func (p Plan) String() string {
 
 // Parse builds a Plan from its string form: kind@event[:workload], e.g.
 // "panic@1000", "stall@50000:GEMM". The corrupt-counter kind carries its
-// target as a suffix: "corrupt-counter.line-reads@1000". An empty string is
-// the disabled plan.
+// target as a suffix: "corrupt-counter.line-reads@1000". Store kinds use
+// the same shape with store-operation counts and key filters:
+// "store-torn-write@3", "store-eio@0:Stream". An empty string is the
+// disabled plan.
 func Parse(s string) (Plan, error) {
 	if s == "" {
 		return Plan{}, nil
@@ -185,6 +251,14 @@ func Parse(s string) (Plan, error) {
 		p.Kind = Spin
 	case kindStr == "corrupt":
 		p.Kind = CorruptBudget
+	case kindStr == "store-torn-write":
+		p.Kind = StoreTornWrite
+	case kindStr == "store-corrupt-blob":
+		p.Kind = StoreCorruptBlob
+	case kindStr == "store-eio":
+		p.Kind = StoreEIO
+	case kindStr == "store-slow-io":
+		p.Kind = StoreSlowIO
 	case strings.HasPrefix(kindStr, "corrupt-counter"):
 		p.Kind = CorruptCounter
 		p.Target = strings.TrimPrefix(strings.TrimPrefix(kindStr, "corrupt-counter"), ".")
@@ -193,7 +267,7 @@ func Parse(s string) (Plan, error) {
 				s, p.Target, strings.Join(Targets(), ", "))
 		}
 	default:
-		return Plan{}, fmt.Errorf("faultinject: %q: unknown kind %q (want panic, stall, spin, corrupt or corrupt-counter.<target>)", s, kindStr)
+		return Plan{}, fmt.Errorf("faultinject: %q: unknown kind %q (want panic, stall, spin, corrupt, corrupt-counter.<target>, store-torn-write, store-corrupt-blob, store-eio or store-slow-io)", s, kindStr)
 	}
 	at, err := strconv.ParseUint(atStr, 10, 64)
 	if err != nil {

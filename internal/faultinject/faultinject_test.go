@@ -174,3 +174,61 @@ func TestClampStormClampsEveryEvent(t *testing.T) {
 		t.Fatalf("clamp storm produced only %d clamped events after 100 steps", got)
 	}
 }
+
+// TestStoreFamilyParseRoundTrip pins the store fault family's plan syntax:
+// kind@op[:keyFilter] parses, renders back identically, and is classified
+// as a store plan.
+func TestStoreFamilyParseRoundTrip(t *testing.T) {
+	cases := []struct {
+		s    string
+		want Plan
+	}{
+		{"store-torn-write@3", Plan{Kind: StoreTornWrite, AtEvent: 3}},
+		{"store-corrupt-blob@0", Plan{Kind: StoreCorruptBlob}},
+		{"store-eio@1:Stream", Plan{Kind: StoreEIO, AtEvent: 1, Workload: "Stream"}},
+		{"store-slow-io@2:put", Plan{Kind: StoreSlowIO, AtEvent: 2, Workload: "put"}},
+	}
+	for _, c := range cases {
+		p, err := Parse(c.s)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", c.s, err)
+		}
+		if p != c.want {
+			t.Errorf("Parse(%q) = %+v, want %+v", c.s, p, c.want)
+		}
+		if got := p.String(); got != c.s {
+			t.Errorf("round trip %q -> %q", c.s, got)
+		}
+		if !p.IsStore() {
+			t.Errorf("IsStore(%q) = false", c.s)
+		}
+	}
+}
+
+// TestStorePlansNeverMatchSimulations asserts the partition between the
+// two fault families: a store plan must not arm on any simulation run (it
+// would perturb cache keys and hand core an unknown fault), and a
+// simulation plan must not match store operations.
+func TestStorePlansNeverMatchSimulations(t *testing.T) {
+	store := Plan{Kind: StoreEIO, AtEvent: 0}
+	if store.Matches("Stream") || store.Matches("") {
+		t.Error("store plan matched a simulation run")
+	}
+	if !store.MatchesStore("abc|def|1") {
+		t.Error("unfiltered store plan did not match a store key")
+	}
+	filtered := Plan{Kind: StoreTornWrite, Workload: "Stream"}
+	if !filtered.MatchesStore("cfg|Stream-fp|1") {
+		t.Error("substring key filter did not match")
+	}
+	if filtered.MatchesStore("cfg|CoMD-fp|1") {
+		t.Error("key filter matched a foreign key")
+	}
+	sim := Plan{Kind: Panic, AtEvent: 10}
+	if sim.MatchesStore("anything") {
+		t.Error("simulation plan matched a store operation")
+	}
+	if !sim.Matches("Stream") {
+		t.Error("simulation plan stopped matching runs")
+	}
+}

@@ -34,6 +34,7 @@ import (
 	"mcmgpu/internal/engine"
 	"mcmgpu/internal/faultinject"
 	"mcmgpu/internal/metrics"
+	"mcmgpu/internal/runstore"
 	"mcmgpu/internal/workload"
 )
 
@@ -139,6 +140,16 @@ type Runner struct {
 	Workers int
 	// Cache, when non-nil, memoizes results across Run calls.
 	Cache *Cache
+	// Store, when non-nil, adds a durable tier under the in-process cache:
+	// each job first consults the on-disk content-addressed store (a hit
+	// skips the simulation and, when metrics are armed, replays the stored
+	// sample stream), and each freshly simulated success is persisted —
+	// results only; errors are never stored, mirroring how the memo cache
+	// evicts transient failures. Store I/O happens inside the Cache's
+	// single-flight slot, so concurrent requests for one key perform at
+	// most one store read or write. Store failures degrade to compute: an
+	// unreadable entry is a miss (logged by the store), never a job error.
+	Store *runstore.Store
 	// EstCache, when non-nil, memoizes closed-form estimates across
 	// Estimates calls (see estimate.go). Predictions and simulation results
 	// never share a cache: the estimate cache is typed to *analytic.Estimate
@@ -311,18 +322,21 @@ func (r *Runner) flushMetrics(bufs []*bytes.Buffer, errs []error) error {
 	return nil
 }
 
-// jobKey extends the memoization key with whatever bounds change the
-// outcome deterministically: event/cycle budgets, a matching fault plan, and
-// the invariant auditor (auditing never changes a successful result, but it
-// can deterministically turn a corrupted run into an error, so audited and
-// unaudited runs must not share entries). Sampled jobs additionally key on
-// the sampling interval and their job index: the index keeps two occurrences
-// of the same simulation in one job list from coalescing onto a single entry
-// (each must decide independently whether its buffer streams), while repeats
-// of the same index across Run calls still cache-hit and emit nothing. Wall
-// deadlines and contexts are excluded — their failures depend on wall time,
-// so they are transient and never memoized (see Cache.do).
-func (r *Runner) jobKey(i int, j Job) string {
+// StoreKey is the durable identity of one job under this runner's settings:
+// the job's (config, workload, scale) fingerprint extended with whatever
+// bounds change the outcome deterministically — event/cycle budgets, a
+// matching fault plan, and the invariant auditor (auditing never changes a
+// successful result, but it can deterministically turn a corrupted run into
+// an error, so audited and unaudited runs must not share entries). When
+// metrics are armed the sampling interval joins the key too, because the
+// stored artifact then includes the sample stream. Wall deadlines and
+// contexts are excluded — their failures depend on wall time, not the key.
+//
+// This is the key jobs are stored under in a Runner.Store and the key
+// cmd/mcmserve derives job IDs from; it deliberately omits the per-slot
+// |job:N suffix the in-process memo key carries, so every occurrence of one
+// simulation in any job list, in any process, maps to one store entry.
+func (r *Runner) StoreKey(j Job) string {
 	k := j.key()
 	if r.Limits.MaxEvents > 0 || r.Limits.MaxCycles > 0 {
 		k = fmt.Sprintf("%s|me%d|mc%d", k, r.Limits.MaxEvents, r.Limits.MaxCycles)
@@ -334,7 +348,20 @@ func (r *Runner) jobKey(i int, j Job) string {
 		k += "|audit"
 	}
 	if r.Metrics.enabled() {
-		k += fmt.Sprintf("|metrics:%d|job:%d", r.Metrics.interval(), i)
+		k += fmt.Sprintf("|metrics:%d", r.Metrics.interval())
+	}
+	return k
+}
+
+// jobKey is the in-process memoization key: StoreKey, plus — for sampled
+// jobs only — the job index. The index keeps two occurrences of the same
+// simulation in one job list from coalescing onto a single memo entry (each
+// must decide independently whether its buffer streams), while repeats of
+// the same index across Run calls still cache-hit and emit nothing.
+func (r *Runner) jobKey(i int, j Job) string {
+	k := r.StoreKey(j)
+	if r.Metrics.enabled() {
+		k += fmt.Sprintf("|job:%d", i)
 	}
 	return k
 }
@@ -354,10 +381,40 @@ func safeRun(j Job, opts core.RunOptions) (res *core.Result, err error) {
 func (r *Runner) runJob(i int, j Job, buf *bytes.Buffer) (*core.Result, error) {
 	opts := r.opts(j, buf)
 	run := func() (*core.Result, error) { return safeRun(j, opts) }
+	if r.Store != nil {
+		run = r.storeTier(r.StoreKey(j), buf, run)
+	}
 	if r.Cache == nil {
 		return run()
 	}
 	return r.Cache.do(r.jobKey(i, j), run)
+}
+
+// storeTier wraps a job's compute function with the durable store: a clean
+// hit returns the stored result (replaying its metrics stream into buf so a
+// warm process emits the same bytes a cold one would); everything else —
+// miss, quarantined entry, or environmental store error — falls through to
+// compute, and a successful compute is persisted best-effort. Put failures
+// are counted by the store and logged through its logger but never fail the
+// job: durability is an optimization, the simulation result is the product.
+func (r *Runner) storeTier(key string, buf *bytes.Buffer, run func() (*core.Result, error)) func() (*core.Result, error) {
+	return func() (*core.Result, error) {
+		if res, stream, ok, err := r.Store.Get(key); err == nil && ok {
+			if buf != nil {
+				buf.Write(stream)
+			}
+			return res, nil
+		}
+		res, err := run()
+		if err == nil {
+			var stream []byte
+			if buf != nil {
+				stream = buf.Bytes()
+			}
+			_ = r.Store.Put(key, res, stream)
+		}
+		return res, err
+	}
 }
 
 // RunSuite executes the given workloads on one configuration and returns

@@ -1,0 +1,323 @@
+// Package client is the wire protocol and HTTP client for cmd/mcmserve,
+// the simulation service in front of the durable run store.
+//
+// The protocol is deliberately idempotent: job IDs are content-derived
+// (runstore.KeyID over the job's store key), so resubmitting a manifest —
+// after a timeout, a connection reset, or a server restart — can never
+// duplicate work or results. That property is what lets Do retry freely
+// with exponential backoff: the worst cost of a duplicate request is one
+// extra store hit.
+package client
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"mcmgpu/internal/core"
+)
+
+// JobRequest is one simulation in a manifest: a full machine configuration
+// (the JSON form config.WriteJSON emits and `mcmsim -dump-config` prints),
+// a workload name from the registry, and a scale factor (<= 0 or 1 = full
+// size).
+type JobRequest struct {
+	System   json.RawMessage `json:"system"`
+	Workload string          `json:"workload"`
+	Scale    float64         `json:"scale,omitempty"`
+}
+
+// Manifest is one batched submission. Budgets and the audit switch apply
+// to every job in the batch and participate in job identity, exactly as
+// they do in the local runner's store keys.
+type Manifest struct {
+	Jobs      []JobRequest `json:"jobs"`
+	MaxEvents uint64       `json:"max_events,omitempty"`
+	MaxCycles uint64       `json:"max_cycles,omitempty"`
+	Audit     bool         `json:"audit,omitempty"`
+}
+
+// Job states reported by the service.
+const (
+	StateQueued   = "queued"
+	StateRunning  = "running"
+	StateDone     = "done"
+	StateFailed   = "failed"
+	StateCanceled = "canceled"
+)
+
+// Result sources reported for done jobs.
+const (
+	SourceStore   = "store"   // served from the durable store, no simulation
+	SourceCompute = "compute" // simulated by this server process
+)
+
+// JobStatus is the service's view of one job.
+type JobStatus struct {
+	// ID is the content-derived job identity; identical submissions map to
+	// the same ID on every server sharing a store.
+	ID       string `json:"id"`
+	State    string `json:"state"`
+	Source   string `json:"source,omitempty"`
+	Error    string `json:"error,omitempty"`
+	Workload string `json:"workload,omitempty"`
+	Config   string `json:"config,omitempty"`
+}
+
+// Done reports whether the job reached a terminal state.
+func (s JobStatus) Done() bool {
+	return s.State == StateDone || s.State == StateFailed || s.State == StateCanceled
+}
+
+// BatchStatus is the service's view of one submitted manifest. Jobs appear
+// in manifest order.
+type BatchStatus struct {
+	ID   string      `json:"id"`
+	Jobs []JobStatus `json:"jobs"`
+	Done bool        `json:"done"`
+}
+
+// ErrorBody is the JSON error payload of every non-2xx response.
+type ErrorBody struct {
+	Error string `json:"error"`
+}
+
+// StatusError is a non-2xx response the client will not retry (4xx class,
+// minus 429).
+type StatusError struct {
+	Code int
+	Msg  string
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("mcmserve: HTTP %d: %s", e.Code, e.Msg)
+}
+
+// Client talks to one mcmserve instance. The zero value is not usable;
+// set BaseURL. All methods are safe for concurrent use.
+type Client struct {
+	// BaseURL is the server root, e.g. "http://localhost:8037".
+	BaseURL string
+	// HTTP is the underlying client; nil means a default with Timeout as
+	// the per-request bound.
+	HTTP *http.Client
+	// Timeout bounds each HTTP request when HTTP is nil (default 30s).
+	Timeout time.Duration
+	// Retries is how many times a failed request is retried (default 4).
+	// Only transport errors, 429 and 5xx responses are retried; the
+	// protocol's idempotence makes every retry safe.
+	Retries int
+	// Backoff is the first retry delay (default 100ms); each subsequent
+	// retry doubles it, and every delay gets up to 50% uniform jitter so
+	// synchronized clients do not stampede a recovering server.
+	Backoff time.Duration
+	// Logf, when non-nil, receives retry diagnostics.
+	Logf func(format string, args ...interface{})
+
+	once sync.Once
+	http *http.Client
+	rng  *rand.Rand
+	mu   sync.Mutex // guards rng
+}
+
+func (c *Client) init() {
+	c.once.Do(func() {
+		c.http = c.HTTP
+		if c.http == nil {
+			to := c.Timeout
+			if to <= 0 {
+				to = 30 * time.Second
+			}
+			c.http = &http.Client{Timeout: to}
+		}
+		c.rng = rand.New(rand.NewSource(time.Now().UnixNano()))
+	})
+}
+
+func (c *Client) logf(format string, args ...interface{}) {
+	if c.Logf != nil {
+		c.Logf(format, args...)
+	}
+}
+
+func (c *Client) retries() int {
+	if c.Retries > 0 {
+		return c.Retries
+	}
+	return 4
+}
+
+// delay returns the backoff before retry attempt n (0-based), jittered.
+func (c *Client) delay(n int) time.Duration {
+	d := c.Backoff
+	if d <= 0 {
+		d = 100 * time.Millisecond
+	}
+	d <<= uint(n)
+	c.mu.Lock()
+	j := time.Duration(c.rng.Int63n(int64(d)/2 + 1))
+	c.mu.Unlock()
+	return d + j
+}
+
+// do performs one request with retries, decoding a 2xx JSON body into out
+// (when non-nil). Transport failures, 429 and 5xx retry with exponential
+// backoff + jitter; other non-2xx statuses return a *StatusError at once.
+func (c *Client) do(method, path string, in, out interface{}) error {
+	c.init()
+	var body []byte
+	if in != nil {
+		var err error
+		if body, err = json.Marshal(in); err != nil {
+			return err
+		}
+	}
+	var last error
+	for attempt := 0; ; attempt++ {
+		err := c.once2xx(method, path, body, out)
+		if err == nil {
+			return nil
+		}
+		var se *StatusError
+		if errors.As(err, &se) && se.Code != http.StatusTooManyRequests && se.Code < 500 {
+			return err
+		}
+		last = err
+		if attempt >= c.retries() {
+			return fmt.Errorf("mcmserve: %s %s failed after %d attempts: %w",
+				method, path, attempt+1, last)
+		}
+		d := c.delay(attempt)
+		c.logf("mcmserve: %s %s attempt %d failed (%v), retrying in %v",
+			method, path, attempt+1, err, d)
+		time.Sleep(d)
+	}
+}
+
+func (c *Client) once2xx(method, path string, body []byte, out interface{}) error {
+	req, err := http.NewRequest(method, strings.TrimSuffix(c.BaseURL, "/")+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		var eb ErrorBody
+		data, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		if json.Unmarshal(data, &eb) != nil || eb.Error == "" {
+			eb.Error = strings.TrimSpace(string(data))
+		}
+		return &StatusError{Code: resp.StatusCode, Msg: eb.Error}
+	}
+	if out == nil {
+		io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Submit posts a manifest and returns the batch status — job IDs assigned,
+// warm cells already done with SourceStore. Safe to re-call on any failure.
+func (c *Client) Submit(m Manifest) (*BatchStatus, error) {
+	var bs BatchStatus
+	if err := c.do(http.MethodPost, "/v1/batches", m, &bs); err != nil {
+		return nil, err
+	}
+	return &bs, nil
+}
+
+// Batch fetches the current status of a batch.
+func (c *Client) Batch(id string) (*BatchStatus, error) {
+	var bs BatchStatus
+	if err := c.do(http.MethodGet, "/v1/batches/"+id, nil, &bs); err != nil {
+		return nil, err
+	}
+	return &bs, nil
+}
+
+// Job fetches the current status of one job.
+func (c *Client) Job(id string) (*JobStatus, error) {
+	var js JobStatus
+	if err := c.do(http.MethodGet, "/v1/jobs/"+id, nil, &js); err != nil {
+		return nil, err
+	}
+	return &js, nil
+}
+
+// Result fetches the result of a done job.
+func (c *Client) Result(id string) (*core.Result, error) {
+	var res core.Result
+	if err := c.do(http.MethodGet, "/v1/jobs/"+id+"/result", nil, &res); err != nil {
+		return nil, err
+	}
+	return &res, nil
+}
+
+// CancelJob asks the server to cancel one job (queued jobs are dropped,
+// running jobs get their context canceled).
+func (c *Client) CancelJob(id string) error {
+	return c.do(http.MethodPost, "/v1/jobs/"+id+"/cancel", nil, nil)
+}
+
+// CancelBatch releases a batch's claim on its jobs; a job is canceled when
+// no live batch still references it.
+func (c *Client) CancelBatch(id string) error {
+	return c.do(http.MethodPost, "/v1/batches/"+id+"/cancel", nil, nil)
+}
+
+// Wait polls a batch until every job is terminal, with gentle backoff
+// (100ms doubling to 2s), and returns the final status.
+func (c *Client) Wait(id string) (*BatchStatus, error) {
+	d := 100 * time.Millisecond
+	for {
+		bs, err := c.Batch(id)
+		if err != nil {
+			return nil, err
+		}
+		if bs.Done {
+			return bs, nil
+		}
+		time.Sleep(d)
+		if d < 2*time.Second {
+			d *= 2
+		}
+	}
+}
+
+// Run is the high-level round trip cmd/sweep uses: submit the manifest,
+// wait for the batch to finish, and fetch every done job's result. The
+// returned slice is manifest-ordered; failed or canceled jobs leave a nil
+// slot and contribute to the returned statuses, which callers inspect for
+// error rendering.
+func (c *Client) Run(m Manifest) ([]*core.Result, []JobStatus, error) {
+	bs, err := c.Submit(m)
+	if err != nil {
+		return nil, nil, err
+	}
+	if bs, err = c.Wait(bs.ID); err != nil {
+		return nil, nil, err
+	}
+	results := make([]*core.Result, len(bs.Jobs))
+	for i, js := range bs.Jobs {
+		if js.State != StateDone {
+			continue
+		}
+		if results[i], err = c.Result(js.ID); err != nil {
+			return nil, nil, fmt.Errorf("fetching result of job %s: %w", js.ID, err)
+		}
+	}
+	return results, bs.Jobs, nil
+}

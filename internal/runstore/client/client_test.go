@@ -1,0 +1,129 @@
+package client
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func fastClient(url string) *Client {
+	return &Client{BaseURL: url, Retries: 3, Backoff: time.Millisecond}
+}
+
+// TestRetriesTransientFailures: 5xx and transport-level flakiness retry
+// until success; the submission is idempotent so this is always safe.
+func TestRetriesTransientFailures(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			http.Error(w, `{"error":"transient"}`, http.StatusInternalServerError)
+			return
+		}
+		json.NewEncoder(w).Encode(BatchStatus{ID: "b1", Done: true})
+	}))
+	defer ts.Close()
+	bs, err := fastClient(ts.URL).Submit(Manifest{Jobs: []JobRequest{{Workload: "Stream"}}})
+	if err != nil {
+		t.Fatalf("submit did not survive transient 500s: %v", err)
+	}
+	if bs.ID != "b1" || calls.Load() != 3 {
+		t.Fatalf("got %+v after %d calls, want b1 after 3", bs, calls.Load())
+	}
+}
+
+// TestRetries429: a full queue (429) is backpressure, not failure — the
+// client backs off and resubmits.
+func TestRetries429(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, `{"error":"queue full"}`, http.StatusTooManyRequests)
+			return
+		}
+		json.NewEncoder(w).Encode(BatchStatus{ID: "b2", Done: true})
+	}))
+	defer ts.Close()
+	if _, err := fastClient(ts.URL).Submit(Manifest{}); err != nil {
+		t.Fatalf("429 was not retried: %v", err)
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("%d calls, want 2", calls.Load())
+	}
+}
+
+// TestNoRetryOn4xx: client errors are deterministic — retrying a bad
+// manifest cannot fix it, so the client fails at once with a StatusError.
+func TestNoRetryOn4xx(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, `{"error":"bad manifest"}`, http.StatusBadRequest)
+	}))
+	defer ts.Close()
+	_, err := fastClient(ts.URL).Submit(Manifest{})
+	se, ok := err.(*StatusError)
+	if !ok || se.Code != http.StatusBadRequest || se.Msg != "bad manifest" {
+		t.Fatalf("err = %v, want StatusError 400 'bad manifest'", err)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("4xx retried: %d calls", calls.Load())
+	}
+}
+
+// TestGivesUpAfterRetries: a persistently dead server eventually surfaces
+// the last failure instead of looping forever.
+func TestGivesUpAfterRetries(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, "down", http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+	c := fastClient(ts.URL)
+	if _, err := c.Submit(Manifest{}); err == nil {
+		t.Fatal("dead server did not surface an error")
+	}
+	if got := calls.Load(); got != int32(c.Retries)+1 {
+		t.Fatalf("%d attempts, want %d", got, c.Retries+1)
+	}
+}
+
+// TestBackoffGrowsWithJitter pins the retry pacing contract: delays double
+// per attempt and carry up to 50% additive jitter — never shorter than the
+// base, never more than 1.5x it.
+func TestBackoffGrowsWithJitter(t *testing.T) {
+	c := &Client{Backoff: 100 * time.Millisecond}
+	c.init()
+	for attempt, base := range []time.Duration{100, 200, 400, 800} {
+		base *= time.Millisecond
+		for i := 0; i < 50; i++ {
+			d := c.delay(attempt)
+			if d < base || d > base+base/2 {
+				t.Fatalf("attempt %d delay %v outside [%v, %v]", attempt, d, base, base+base/2)
+			}
+		}
+	}
+}
+
+// TestRequestTimeout: a hung server trips the per-request timeout rather
+// than wedging the caller.
+func TestRequestTimeout(t *testing.T) {
+	block := make(chan struct{})
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-block
+	}))
+	defer ts.Close()
+	defer close(block) // LIFO: unblock the handler before ts.Close waits on it
+	c := &Client{BaseURL: ts.URL, Timeout: 50 * time.Millisecond, Retries: 1, Backoff: time.Millisecond}
+	start := time.Now()
+	if _, err := c.Batch("b1"); err == nil {
+		t.Fatal("hung server did not time out")
+	}
+	if el := time.Since(start); el > 2*time.Second {
+		t.Fatalf("timeout took %v", el)
+	}
+}

@@ -1,0 +1,119 @@
+package runstore
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"reflect"
+	"testing"
+
+	"mcmgpu/internal/faultinject"
+)
+
+// TestCrashTorture is the crash-recovery torture loop: across many
+// open/write/reopen cycles, writes are killed at randomized operation
+// offsets (torn writes, bit flips, injected EIO — the whole store fault
+// family), and after every cycle the reopened store must satisfy the two
+// invariants the store exists for:
+//
+//  1. Zero corrupted reads: every Get either misses cleanly or returns a
+//     result byte-identical to the one a fresh compute would produce
+//     (modeled by the deterministic fakeResult generator).
+//  2. The store always reopens: no sequence of injected damage may wedge
+//     Open or poison the index.
+//
+// The seed is fixed so a failure reproduces exactly.
+func TestCrashTorture(t *testing.T) {
+	const (
+		cycles      = 40
+		keysPerCyc  = 6
+		totalKeys   = 24
+		maxFaultOps = 14
+	)
+	rng := rand.New(rand.NewSource(0xC0FFEE))
+	dir := t.TempDir()
+
+	expect := func(i int) (string, []byte) {
+		key := fmt.Sprintf("torture-key-%02d", i)
+		stream := []byte(fmt.Sprintf("metrics-for-%02d\nrow,1,2,3\n", i))
+		return key, stream
+	}
+
+	kinds := []faultinject.Kind{
+		faultinject.StoreTornWrite,
+		faultinject.StoreCorruptBlob,
+		faultinject.StoreEIO,
+		faultinject.None, // some cycles are healthy writers
+	}
+
+	for cyc := 0; cyc < cycles; cyc++ {
+		plan := faultinject.Plan{
+			Kind:    kinds[rng.Intn(len(kinds))],
+			AtEvent: uint64(rng.Intn(maxFaultOps)),
+		}
+		w, err := Open(dir, WithFault(plan))
+		if err != nil {
+			t.Fatalf("cycle %d: Open under plan %q: %v", cyc, plan, err)
+		}
+		for j := 0; j < keysPerCyc; j++ {
+			key, stream := expect(rng.Intn(totalKeys))
+			// Put may fail (EIO) or silently corrupt (torn/bit-flip);
+			// both model a dying writer and are allowed. What is never
+			// allowed is the damage being SERVED later.
+			_ = w.Put(key, fakeResult(key), stream)
+		}
+
+		// "Reopen after crash": a fresh store over the same directory with
+		// no faults armed. Recovery (tmp cleanup, index rebuild,
+		// verify-on-read) must leave only clean state observable.
+		r, err := Open(dir)
+		if err != nil {
+			t.Fatalf("cycle %d: reopen after plan %q: %v", cyc, plan, err)
+		}
+		for i := 0; i < totalKeys; i++ {
+			key, stream := expect(i)
+			got, gotStream, ok, err := r.Get(key)
+			if err != nil {
+				t.Fatalf("cycle %d key %s: environmental error from a healthy store: %v", cyc, key, err)
+			}
+			if !ok {
+				continue // clean miss: the write died; recompute would fill it
+			}
+			if want := fakeResult(key); !reflect.DeepEqual(got, want) {
+				t.Fatalf("cycle %d key %s (plan %q): CORRUPTED READ\n got %+v\nwant %+v",
+					cyc, key, plan, got, want)
+			}
+			if string(gotStream) != string(stream) {
+				t.Fatalf("cycle %d key %s: corrupted metrics stream %q", cyc, key, gotStream)
+			}
+		}
+	}
+
+	// Anti-vacuity: the torture must actually have exercised the recovery
+	// machinery, not 40 healthy cycles.
+	final, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Quarantine events were counted per-store-instance; prove damage
+	// occurred by the artifacts it left behind.
+	if n := quarantineCount(t, dir); n == 0 {
+		t.Fatal("torture produced zero quarantined files — the fault plans never fired (vacuous test)")
+	}
+	// And the store still works end to end.
+	if err := final.Put("post-torture", fakeResult("post-torture"), nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok, err := final.Get("post-torture"); !ok || err != nil {
+		t.Fatalf("post-torture store broken: ok %v err %v", ok, err)
+	}
+}
+
+func quarantineCount(t *testing.T, dir string) int {
+	t.Helper()
+	entries, err := os.ReadDir(dir + "/quarantine")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return len(entries)
+}
