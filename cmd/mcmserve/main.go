@@ -11,11 +11,22 @@
 //     served (see internal/runstore).
 //   - An unreadable store degrades to compute: jobs still run, the client
 //     never sees a 500 because a disk failed.
-//   - The job queue is bounded; a full queue answers 429 + Retry-After
-//     rather than accepting unbounded memory.
-//   - SIGTERM drains gracefully: in-flight jobs finish, queued jobs
-//     persist to <store>/pending.json (resumed by the next server), and
-//     the process exits 0.
+//   - The job queue is bounded; a full queue answers 429 with a
+//     Retry-After derived from the actual backlog rather than accepting
+//     unbounded memory.
+//   - GET /readyz is liveness-distinct: 503 (with Retry-After) while
+//     draining or while the queue is saturated, so pools and load
+//     balancers stop routing to a server that is leaving; /healthz keeps
+//     answering 200.
+//   - SIGTERM flips /readyz first, then drains gracefully: in-flight jobs
+//     finish, queued jobs persist to <store>/pending.json (resumed by the
+//     next server), and the process exits 0.
+//   - Deterministic job failures (panic, budget, invariant — the classes
+//     a retry anywhere would reproduce) burn an attempt and re-run up to
+//     -poison-attempts, then the job is poisoned: quarantined in
+//     <store>/poisoned.json, shared by every server on the store, and
+//     resubmissions answer instantly with the structured failure instead
+//     of burning another backend.
 //
 // Usage:
 //
@@ -47,6 +58,7 @@ func main() {
 		storeDir = flag.String("store", "", "durable run store directory (empty = memory-only, results die with the process)")
 		workers  = flag.Int("j", 0, "parallel simulation workers (0 = GOMAXPROCS)")
 		queueCap = flag.Int("queue", 256, "maximum queued jobs; a full queue answers 429")
+		poisonK  = flag.Int("poison-attempts", 0, "deterministic failures a job may accumulate before quarantine (0 = default 3)")
 	)
 	flag.Parse()
 
@@ -54,13 +66,22 @@ func main() {
 		fmt.Fprintf(os.Stderr, format+"\n", args...)
 	}
 
+	// The fault plan (MCMGPU_FAULT) arms the whole stack consistently:
+	// store faults reach the store tier, engine faults reach every worker
+	// runner AND job-identity derivation, so a faulted cell can never
+	// collide with an unfaulted one.
+	plan, err := faultinject.FromEnv()
+	if err != nil {
+		logf("mcmserve: %v", err)
+		os.Exit(2)
+	}
+	if plan.IsNet() {
+		logf("mcmserve: net fault plans belong on a chaosproxy, not the server; unset MCMGPU_FAULT")
+		os.Exit(2)
+	}
+
 	var store *runstore.Store
 	if *storeDir != "" {
-		plan, err := faultinject.FromEnv()
-		if err != nil {
-			logf("mcmserve: %v", err)
-			os.Exit(2)
-		}
 		store, err = runstore.Open(*storeDir, runstore.WithLogf(logf), runstore.WithFault(plan))
 		if err != nil {
 			// Degrade, don't die: an unopenable store costs durability,
@@ -75,7 +96,14 @@ func main() {
 	if n <= 0 {
 		n = defaultWorkers()
 	}
-	s := newServer(store, n, *queueCap, logf)
+	s := newServerOpts(serverOptions{
+		Store:          store,
+		Workers:        n,
+		QueueCap:       *queueCap,
+		Logf:           logf,
+		Fault:          plan,
+		PoisonAttempts: *poisonK,
+	})
 	httpSrv := &http.Server{Addr: *addr, Handler: s.mux}
 
 	sigc := make(chan os.Signal, 1)

@@ -9,11 +9,13 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"sort"
 	"sync"
 	"time"
 
 	"mcmgpu/internal/config"
 	"mcmgpu/internal/core"
+	"mcmgpu/internal/faultinject"
 	"mcmgpu/internal/runner"
 	"mcmgpu/internal/runstore"
 	"mcmgpu/internal/runstore/client"
@@ -27,6 +29,32 @@ const maxManifestBytes = 16 << 20
 // pendingFile is where a draining server persists its queued jobs, inside
 // the store directory (queued work is durable exactly when results are).
 const pendingFile = "pending.json"
+
+// poisonedFile is where quarantined jobs persist, next to pending.json: a
+// job that failed deterministically on every allowed attempt must stay
+// quarantined across restarts, or every new server would burn its attempt
+// budget rediscovering the same poison.
+const poisonedFile = "poisoned.json"
+
+// defaultPoisonAttempts is how many deterministic failures a job gets
+// before quarantine. Transient failures (cancellation, wall deadline)
+// never count.
+const defaultPoisonAttempts = 3
+
+// watchKeepalive is how often a watch stream resends the latest snapshot
+// even without a state change, so a client's idle watchdog can tell a
+// quiet batch from a dead connection.
+const watchKeepalive = 2 * time.Second
+
+// poisonRecord is one quarantined job as persisted in poisoned.json.
+type poisonRecord struct {
+	ID       string `json:"id"`
+	Workload string `json:"workload"`
+	Config   string `json:"config"`
+	Error    string `json:"error"`
+	Kind     string `json:"kind"`
+	Attempts int    `json:"attempts"`
+}
 
 // pendingJob is one queued job persisted across a drain: the original wire
 // request plus the manifest-level bounds that participate in its identity.
@@ -49,7 +77,13 @@ type svcJob struct {
 	state  string
 	source string
 	errMsg string
-	res    *core.Result
+	// errKind classifies a failure (runner.ErrClass); attempts counts how
+	// many times a worker ran the job; poisoned marks a job quarantined
+	// after exhausting its attempt budget on deterministic failures.
+	errKind  string
+	attempts int
+	poisoned bool
+	res      *core.Result
 	// refs counts live batches referencing the job; canceling a batch
 	// decrements it and the job itself is canceled at zero, so one
 	// client's cancel can never kill a cell another client still wants.
@@ -66,6 +100,9 @@ func (j *svcJob) statusLocked() client.JobStatus {
 		Error:    j.errMsg,
 		Workload: j.job.Spec.Name,
 		Config:   j.job.Config.Name,
+		ErrKind:  j.errKind,
+		Attempts: j.attempts,
+		Poisoned: j.poisoned,
 	}
 }
 
@@ -79,13 +116,23 @@ type server struct {
 	store    *runstore.Store // nil = degraded, memory-only service
 	cache    *runner.Cache
 	queueCap int
-	logf     func(format string, args ...interface{})
+	workers  int
+	// fault is the server's armed fault plan (engine or store family). It
+	// participates in store-key derivation AND in every worker's runner,
+	// so job identity always reflects the faults the job actually runs
+	// under.
+	fault faultinject.Plan
+	// poisonK is the attempt budget before quarantine.
+	poisonK int
+	logf    func(format string, args ...interface{})
 
 	mu       sync.Mutex
 	cond     *sync.Cond // signals queue activity and stopping
 	queue    []*svcJob  // FIFO of jobs waiting for a worker
 	jobs     map[string]*svcJob
 	batches  map[string]*svcBatch
+	poisoned map[string]poisonRecord // quarantined job IDs, loaded from disk
+	inflight int                     // jobs a worker is currently running
 	batchSeq int
 	draining bool
 	stopping bool
@@ -94,20 +141,48 @@ type server struct {
 	mux *http.ServeMux
 }
 
+// serverOptions configures newServerOpts; the zero value of every
+// optional field means its default.
+type serverOptions struct {
+	Store    *runstore.Store
+	Workers  int
+	QueueCap int
+	Logf     func(string, ...interface{})
+	// Fault is the fault plan armed into every worker's runner and into
+	// store-key derivation (engine faults shape job identity).
+	Fault faultinject.Plan
+	// PoisonAttempts is the deterministic-failure budget before a job is
+	// quarantined (default 3).
+	PoisonAttempts int
+}
+
+// newServer keeps the original compact constructor; tests and call sites
+// that need the robustness knobs use newServerOpts.
 func newServer(store *runstore.Store, workers, queueCap int, logf func(string, ...interface{})) *server {
-	if logf == nil {
-		logf = func(string, ...interface{}) {}
+	return newServerOpts(serverOptions{Store: store, Workers: workers, QueueCap: queueCap, Logf: logf})
+}
+
+func newServerOpts(o serverOptions) *server {
+	if o.Logf == nil {
+		o.Logf = func(string, ...interface{}) {}
 	}
-	if queueCap <= 0 {
-		queueCap = 256
+	if o.QueueCap <= 0 {
+		o.QueueCap = 256
+	}
+	if o.PoisonAttempts <= 0 {
+		o.PoisonAttempts = defaultPoisonAttempts
 	}
 	s := &server{
-		store:    store,
+		store:    o.Store,
 		cache:    runner.NewCache(),
-		queueCap: queueCap,
-		logf:     logf,
+		queueCap: o.QueueCap,
+		workers:  o.Workers,
+		fault:    o.Fault,
+		poisonK:  o.PoisonAttempts,
+		logf:     o.Logf,
 		jobs:     map[string]*svcJob{},
 		batches:  map[string]*svcBatch{},
+		poisoned: map[string]poisonRecord{},
 	}
 	s.cond = sync.NewCond(&s.mu)
 	s.mux = http.NewServeMux()
@@ -119,9 +194,11 @@ func newServer(store *runstore.Store, workers, queueCap int, logf func(string, .
 	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
 	s.mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.handleCancelJob)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /readyz", s.handleReady)
 	s.mux.HandleFunc("GET /statsz", s.handleStats)
-	if workers > 0 {
-		s.startWorkers(workers)
+	s.loadPoisoned()
+	if o.Workers > 0 {
+		s.startWorkers(o.Workers)
 	}
 	s.recoverPending()
 	return s
@@ -136,9 +213,11 @@ func (s *server) startWorkers(n int) {
 
 // storeKey derives the durable identity of a parsed job under its limits —
 // the same key the local CLIs' runners use, so a cell simulated by sweep on
-// a laptop is a store hit here and vice versa.
-func storeKey(j runner.Job, limits core.RunOptions) string {
-	return (&runner.Runner{Limits: limits}).StoreKey(j)
+// a laptop is a store hit here and vice versa. The server's fault plan is
+// part of the key exactly as it is part of the worker runner, so faulted
+// and unfaulted runs of one cell can never collide.
+func (s *server) storeKey(j runner.Job, limits core.RunOptions) string {
+	return (&runner.Runner{Limits: limits, Fault: s.fault}).StoreKey(j)
 }
 
 // parseJob validates one wire request into a runnable job.
@@ -191,7 +270,7 @@ func (s *server) submit(m client.Manifest) (*client.BatchStatus, int, error) {
 		if err != nil {
 			return nil, http.StatusBadRequest, fmt.Errorf("job %d: %w", i, err)
 		}
-		key := storeKey(job, limits)
+		key := s.storeKey(job, limits)
 		items[i] = parsed{req: req, job: job, key: key, id: runstore.KeyID(key)}
 	}
 	// Probe the store outside the lock: warm cells become instantly-done
@@ -214,7 +293,7 @@ func (s *server) submit(m client.Manifest) (*client.BatchStatus, int, error) {
 	need := 0
 	counted := map[string]bool{}
 	for _, it := range items {
-		if it.storeHit || counted[it.id] {
+		if it.storeHit || counted[it.id] || s.poisonedLocked(it.id) != nil {
 			continue
 		}
 		if j, ok := s.jobs[it.id]; ok && j.state != client.StateCanceled {
@@ -238,6 +317,16 @@ func (s *server) submit(m client.Manifest) (*client.BatchStatus, int, error) {
 		case live && j.state != client.StateCanceled:
 			// Deduplicated onto an existing record (possibly from another
 			// client's batch).
+		case s.poisonedLocked(it.id) != nil:
+			// Quarantined: resubmission returns the recorded structured
+			// failure instantly instead of burning another attempt budget.
+			rec := s.poisonedLocked(it.id)
+			j = &svcJob{
+				id: it.id, key: it.key, req: it.req, job: it.job, limits: limits,
+				state: client.StateFailed, errMsg: rec.Error, errKind: rec.Kind,
+				attempts: rec.Attempts, poisoned: true,
+			}
+			s.jobs[it.id] = j
 		case it.storeHit:
 			j = &svcJob{
 				id: it.id, key: it.key, req: it.req, job: it.job, limits: limits,
@@ -284,12 +373,32 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	bs, code, err := s.submit(m)
 	if err != nil {
 		if code == http.StatusTooManyRequests {
-			w.Header().Set("Retry-After", "1")
+			w.Header().Set("Retry-After", fmt.Sprintf("%d", s.retryAfter()))
 		}
 		httpError(w, code, "%v", err)
 		return
 	}
 	writeJSON(w, bs)
+}
+
+// retryAfter estimates seconds until queue pressure clears: the backlog
+// (queued + in-flight jobs) over the worker count, assuming roughly a
+// job per worker-second, floored at 1 and capped at 30. A hard-coded
+// constant here made every rejected client retry in lockstep regardless
+// of how deep the backlog actually was.
+func (s *server) retryAfter() int {
+	s.mu.Lock()
+	backlog := len(s.queue) + s.inflight
+	s.mu.Unlock()
+	w := s.workers
+	if w <= 0 {
+		w = 1
+	}
+	ra := 1 + backlog/w
+	if ra > 30 {
+		ra = 30
+	}
+	return ra
 }
 
 // worker pulls jobs off the queue until the server stops. In-flight jobs
@@ -312,6 +421,7 @@ func (s *server) worker() {
 			continue
 		}
 		j.state = client.StateRunning
+		s.inflight++
 		s.mu.Unlock()
 		s.runOne(j)
 	}
@@ -337,6 +447,7 @@ func (s *server) runOne(j *svcJob) {
 		Cache:   s.cache,
 		Store:   s.store,
 		Limits:  limits,
+		Fault:   s.fault,
 	}
 	results, err := rr.Run([]runner.Job{j.job})
 	if err != nil {
@@ -346,9 +457,18 @@ func (s *server) runOne(j *svcJob) {
 	s.finish(j, results[0], nil, source)
 }
 
+// finish records a job's outcome. Failures are partitioned by error
+// class: cancellation and wall-time failures are environmental and
+// terminal as-is; deterministic failures (panic, budget, invariant) burn
+// one attempt and re-enqueue until the budget is exhausted, at which
+// point the job is poisoned — quarantined in memory and on disk so no
+// server ever runs it again.
 func (s *server) finish(j *svcJob, res *core.Result, err error, source string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.inflight > 0 {
+		s.inflight--
+	}
 	switch {
 	case err == nil:
 		j.state = client.StateDone
@@ -356,11 +476,95 @@ func (s *server) finish(j *svcJob, res *core.Result, err error, source string) {
 		j.res = res
 	case j.ctx != nil && j.ctx.Err() != nil:
 		j.state = client.StateCanceled
+		j.errKind = string(runner.ClassCanceled)
 	default:
-		j.state = client.StateFailed
+		class := runner.Classify(err)
+		j.errKind = string(class)
 		j.errMsg = err.Error()
+		if !class.Deterministic() {
+			// Transient: a retry under different wall-time conditions could
+			// succeed, but the job's budget was the client's choice — fail
+			// the job, never poison it.
+			j.state = client.StateFailed
+			break
+		}
+		j.attempts++
+		if j.attempts < s.poisonK && !s.stopping {
+			// The in-process cache memoizes deterministic errors, so these
+			// retries are near-instant; the budget exists to catch
+			// environment-dependent "deterministic" failures (a bug in the
+			// classifier, a fault plan keyed on attempt count) without
+			// retrying a genuinely poisoned cell forever.
+			j.state = client.StateQueued
+			s.queue = append(s.queue, j)
+			s.cond.Signal()
+			s.logf("mcmserve: job %s (%s on %s) attempt %d/%d failed (%s), requeued: %v",
+				j.id, j.job.Spec.Name, j.job.Config.Name, j.attempts, s.poisonK, j.errKind, err)
+			return
+		}
+		j.state = client.StateFailed
+		j.poisoned = true
+		s.quarantineLocked(j)
 	}
 	s.logf("mcmserve: job %s (%s on %s) %s", j.id, j.job.Spec.Name, j.job.Config.Name, j.state)
+}
+
+// poisonedLocked returns the quarantine record for a job ID, nil if none.
+func (s *server) poisonedLocked(id string) *poisonRecord {
+	if rec, ok := s.poisoned[id]; ok {
+		return &rec
+	}
+	return nil
+}
+
+// quarantineLocked records a poisoned job in memory and persists the
+// quarantine set next to pending.json, so the poison survives restarts.
+func (s *server) quarantineLocked(j *svcJob) {
+	rec := poisonRecord{
+		ID:       j.id,
+		Workload: j.job.Spec.Name,
+		Config:   j.job.Config.Name,
+		Error:    j.errMsg,
+		Kind:     j.errKind,
+		Attempts: j.attempts,
+	}
+	s.poisoned[j.id] = rec
+	s.logf("mcmserve: job %s (%s on %s) poisoned after %d attempts: %s",
+		j.id, rec.Workload, rec.Config, rec.Attempts, rec.Error)
+	if s.store == nil {
+		return
+	}
+	recs := make([]poisonRecord, 0, len(s.poisoned))
+	for _, r := range s.poisoned {
+		recs = append(recs, r)
+	}
+	sort.Slice(recs, func(a, b int) bool { return recs[a].ID < recs[b].ID })
+	if err := writeFileAtomic(filepath.Join(s.store.Dir(), poisonedFile), recs); err != nil {
+		s.logf("mcmserve: persisting quarantine failed: %v", err)
+	}
+}
+
+// loadPoisoned restores the quarantine set a predecessor persisted. The
+// file is kept (not consumed): quarantine is state, not a work queue.
+func (s *server) loadPoisoned() {
+	if s.store == nil {
+		return
+	}
+	data, err := os.ReadFile(filepath.Join(s.store.Dir(), poisonedFile))
+	if err != nil {
+		return
+	}
+	var recs []poisonRecord
+	if err := json.Unmarshal(data, &recs); err != nil {
+		s.logf("mcmserve: unreadable %s (ignored): %v", poisonedFile, err)
+		return
+	}
+	for _, r := range recs {
+		s.poisoned[r.ID] = r
+	}
+	if len(recs) > 0 {
+		s.logf("mcmserve: %d quarantined job(s) loaded from %s", len(recs), poisonedFile)
+	}
 }
 
 func (s *server) batchStatusLocked(b *svcBatch) *client.BatchStatus {
@@ -389,14 +593,17 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleWatch streams batch status as NDJSON: one snapshot per state
-// change, final snapshot when the batch is done. This is the per-job
-// progress stream; curl .../watch renders a live view.
+// change, a keepalive resend of the latest snapshot every couple of
+// seconds while nothing changes, and a final snapshot when the batch is
+// done. The keepalive is what lets a client-side idle watchdog tell a
+// quiet batch from a dead connection. curl .../watch renders a live view.
 func (s *server) handleWatch(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	flusher, _ := w.(http.Flusher)
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	enc := json.NewEncoder(w)
 	var last []byte
+	var lastSent time.Time
 	for {
 		s.mu.Lock()
 		b, ok := s.batches[id]
@@ -408,8 +615,9 @@ func (s *server) handleWatch(w http.ResponseWriter, r *http.Request) {
 		bs := s.batchStatusLocked(b)
 		s.mu.Unlock()
 		cur, _ := json.Marshal(bs)
-		if !bytes.Equal(cur, last) {
+		if !bytes.Equal(cur, last) || time.Since(lastSent) >= watchKeepalive {
 			last = cur
+			lastSent = time.Now()
 			if err := enc.Encode(bs); err != nil {
 				return
 			}
@@ -551,6 +759,29 @@ func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	draining := s.draining
 	s.mu.Unlock()
 	writeJSON(w, map[string]interface{}{"status": "ok", "draining": draining})
+}
+
+// handleReady is the load-balancer signal, distinct from liveness: a
+// draining or queue-saturated server answers 503 (with a Retry-After
+// matched to its backlog) while still passing /healthz, so a pool routes
+// new work elsewhere without declaring the process dead. SIGTERM flips
+// this before the drain starts, giving clients the whole drain window to
+// move.
+func (s *server) handleReady(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	saturated := len(s.queue) >= s.queueCap
+	s.mu.Unlock()
+	switch {
+	case draining:
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", s.retryAfter()))
+		httpError(w, http.StatusServiceUnavailable, "draining")
+	case saturated:
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", s.retryAfter()))
+		httpError(w, http.StatusServiceUnavailable, "queue saturated")
+	default:
+		writeJSON(w, map[string]interface{}{"status": "ready"})
+	}
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {

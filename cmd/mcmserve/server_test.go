@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
@@ -12,6 +13,7 @@ import (
 	"time"
 
 	"mcmgpu/internal/config"
+	"mcmgpu/internal/faultinject"
 	"mcmgpu/internal/runstore"
 	"mcmgpu/internal/runstore/client"
 )
@@ -68,7 +70,7 @@ func TestSubmitComputeThenWarm(t *testing.T) {
 	defer stop()
 
 	m := testManifest(t, "Stream", "CFD")
-	results, statuses, err := c.Run(m)
+	results, statuses, err := c.Run(context.Background(), m)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,7 +89,7 @@ func TestSubmitComputeThenWarm(t *testing.T) {
 
 	// Same process, identical manifest: already-done records, no queue
 	// traffic, no new store writes.
-	bs, err := c.Submit(m)
+	bs, err := c.Submit(context.Background(), m)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,7 +105,7 @@ func TestSubmitComputeThenWarm(t *testing.T) {
 	s2 := newServer(mustOpenStore(t, dir), 2, 16, t.Logf)
 	c2, stop2 := testClient(t, s2)
 	defer stop2()
-	warm, warmStatuses, err := c2.Run(m)
+	warm, warmStatuses, err := c2.Run(context.Background(), m)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -130,7 +132,7 @@ func TestResultAcrossRestart(t *testing.T) {
 	s := newServer(mustOpenStore(t, dir), 1, 16, t.Logf)
 	c, stop := testClient(t, s)
 
-	results, statuses, err := c.Run(testManifest(t, "Stream"))
+	results, statuses, err := c.Run(context.Background(), testManifest(t, "Stream"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -140,7 +142,7 @@ func TestResultAcrossRestart(t *testing.T) {
 	s2 := newServer(mustOpenStore(t, dir), 1, 16, t.Logf)
 	c2, stop2 := testClient(t, s2)
 	defer stop2()
-	got, err := c2.Result(id)
+	got, err := c2.Result(context.Background(), id)
 	if err != nil {
 		t.Fatalf("restarted server cannot serve result %s: %v", id, err)
 	}
@@ -191,22 +193,22 @@ func TestCancelQueuedJob(t *testing.T) {
 	s := newServer(nil, 0, 16, t.Logf)
 	c, stop := testClient(t, s)
 	defer stop()
-	bs, err := c.Submit(testManifest(t, "Stream"))
+	bs, err := c.Submit(context.Background(), testManifest(t, "Stream"))
 	if err != nil {
 		t.Fatal(err)
 	}
 	id := bs.Jobs[0].ID
-	if err := c.CancelJob(id); err != nil {
+	if err := c.CancelJob(context.Background(), id); err != nil {
 		t.Fatal(err)
 	}
-	js, err := c.Job(id)
+	js, err := c.Job(context.Background(), id)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if js.State != client.StateCanceled {
 		t.Fatalf("canceled job is %q", js.State)
 	}
-	final, err := c.Batch(bs.ID)
+	final, err := c.Batch(context.Background(), bs.ID)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -216,7 +218,7 @@ func TestCancelQueuedJob(t *testing.T) {
 	// A worker starting later must skip the canceled job, not run it.
 	s.startWorkers(1)
 	time.Sleep(50 * time.Millisecond)
-	if js, _ := c.Job(id); js.State != client.StateCanceled {
+	if js, _ := c.Job(context.Background(), id); js.State != client.StateCanceled {
 		t.Fatalf("worker resurrected a canceled job: %q", js.State)
 	}
 }
@@ -229,11 +231,11 @@ func TestBatchCancelRefcounting(t *testing.T) {
 	c, stop := testClient(t, s)
 	defer stop()
 	m := testManifest(t, "Stream")
-	b1, err := c.Submit(m)
+	b1, err := c.Submit(context.Background(), m)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b2, err := c.Submit(m)
+	b2, err := c.Submit(context.Background(), m)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -241,16 +243,16 @@ func TestBatchCancelRefcounting(t *testing.T) {
 	if b2.Jobs[0].ID != id {
 		t.Fatalf("identical submissions got different IDs: %s vs %s", id, b2.Jobs[0].ID)
 	}
-	if err := c.CancelBatch(b1.ID); err != nil {
+	if err := c.CancelBatch(context.Background(), b1.ID); err != nil {
 		t.Fatal(err)
 	}
-	if js, _ := c.Job(id); js.State != client.StateQueued {
+	if js, _ := c.Job(context.Background(), id); js.State != client.StateQueued {
 		t.Fatalf("job canceled while another batch still references it: %q", js.State)
 	}
-	if err := c.CancelBatch(b2.ID); err != nil {
+	if err := c.CancelBatch(context.Background(), b2.ID); err != nil {
 		t.Fatal(err)
 	}
-	if js, _ := c.Job(id); js.State != client.StateCanceled {
+	if js, _ := c.Job(context.Background(), id); js.State != client.StateCanceled {
 		t.Fatalf("job not canceled after losing its last reference: %q", js.State)
 	}
 }
@@ -282,7 +284,7 @@ func TestDrainPersistsQueueAndRecovers(t *testing.T) {
 	deadline := time.Now().Add(30 * time.Second)
 	for _, js := range bs.Jobs {
 		for {
-			cur, err := c2.Job(js.ID)
+			cur, err := c2.Job(context.Background(), js.ID)
 			if err != nil {
 				t.Fatalf("recovered server lost job %s: %v", js.ID, err)
 			}
@@ -297,7 +299,7 @@ func TestDrainPersistsQueueAndRecovers(t *testing.T) {
 			}
 			time.Sleep(20 * time.Millisecond)
 		}
-		if _, err := c2.Result(js.ID); err != nil {
+		if _, err := c2.Result(context.Background(), js.ID); err != nil {
 			t.Fatalf("recovered job %s has no result: %v", js.ID, err)
 		}
 	}
@@ -312,7 +314,7 @@ func TestDegradedMemoryOnly(t *testing.T) {
 	s := newServer(nil, 1, 16, t.Logf)
 	c, stop := testClient(t, s)
 	defer stop()
-	results, statuses, err := c.Run(testManifest(t, "Stream"))
+	results, statuses, err := c.Run(context.Background(), testManifest(t, "Stream"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -331,7 +333,7 @@ func TestWatchStreamsProgress(t *testing.T) {
 	ts := httptest.NewServer(s.mux)
 	defer ts.Close()
 	c := &client.Client{BaseURL: ts.URL, Backoff: 5 * time.Millisecond, Logf: t.Logf}
-	bs, err := c.Submit(testManifest(t, "Stream"))
+	bs, err := c.Submit(context.Background(), testManifest(t, "Stream"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -354,5 +356,183 @@ func TestWatchStreamsProgress(t *testing.T) {
 	}
 	if !last.Done || last.Jobs[0].State != client.StateDone {
 		t.Fatalf("final watch snapshot not done: %+v", last)
+	}
+}
+
+// TestReadyzDistinctFromHealthz: a draining or saturated server fails
+// readiness (with a Retry-After) while still passing liveness — the
+// signal a pool uses to route around it without declaring it dead.
+func TestReadyzDistinctFromHealthz(t *testing.T) {
+	s := newServer(nil, 0, 1, t.Logf) // cap 1, no workers: easy to saturate
+	ts := httptest.NewServer(s.mux)
+	defer ts.Close()
+
+	get := func(path string) *http.Response {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp
+	}
+	if resp := get("/readyz"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("idle readyz = %d, want 200", resp.StatusCode)
+	}
+
+	// Saturate the queue: one queued job against cap 1.
+	if _, code, err := s.submit(testManifest(t, "Stream")); err != nil || code != http.StatusOK {
+		t.Fatalf("submit: code %d err %v", code, err)
+	}
+	resp := get("/readyz")
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("saturated readyz = %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("saturated readyz has no Retry-After")
+	}
+	if resp := get("/healthz"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("saturated healthz = %d, want 200 (alive, just busy)", resp.StatusCode)
+	}
+
+	// Draining flips readiness too (fresh server so drain has no queue).
+	s2 := newServer(nil, 0, 16, t.Logf)
+	ts2 := httptest.NewServer(s2.mux)
+	defer ts2.Close()
+	s2.drain()
+	resp2, err := http.Get(ts2.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining readyz = %d, want 503", resp2.StatusCode)
+	}
+	resp2, err = http.Get(ts2.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("draining healthz = %d, want 200", resp2.StatusCode)
+	}
+}
+
+// TestRetryAfterDerivedFromBacklog: the 429 Retry-After grows with the
+// backlog instead of the old hard-coded 1 second.
+func TestRetryAfterDerivedFromBacklog(t *testing.T) {
+	s := newServer(nil, 0, 2, t.Logf) // no workers: 1-worker estimate, 2-deep queue
+	ts := httptest.NewServer(s.mux)
+	defer ts.Close()
+	if _, code, err := s.submit(testManifest(t, "Stream", "CFD")); err != nil || code != http.StatusOK {
+		t.Fatalf("submit: code %d err %v", code, err)
+	}
+	m := testManifest(t, "GEMM")
+	data, _ := json.Marshal(m)
+	resp, err := http.Post(ts.URL+"/v1/batches", "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-cap submit = %d, want 429", resp.StatusCode)
+	}
+	// Backlog 2, estimated 1 worker → 1 + 2/1 = 3 seconds.
+	if ra := resp.Header.Get("Retry-After"); ra != "3" {
+		t.Fatalf("Retry-After = %q, want 3 (derived from backlog)", ra)
+	}
+}
+
+// TestPoisonQuarantineLifecycle is the poisoned-job contract end to end:
+// a deterministically failing cell burns its attempt budget, is
+// quarantined with a structured error, persists across a restart, and a
+// resubmission to the successor fails instantly instead of rerunning.
+func TestPoisonQuarantineLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	plan, err := faultinject.Parse("panic@0:Stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newServerOpts(serverOptions{
+		Store: mustOpenStore(t, dir), Workers: 1, QueueCap: 16,
+		Logf: t.Logf, Fault: plan, PoisonAttempts: 2,
+	})
+	c, stop := testClient(t, s)
+	defer stop()
+
+	m := testManifest(t, "Stream", "CFD")
+	_, statuses, err := c.Run(context.Background(), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	poisonedJob, healthy := statuses[0], statuses[1]
+	if poisonedJob.State != client.StateFailed || !poisonedJob.Poisoned {
+		t.Fatalf("faulted job: %+v, want failed+poisoned", poisonedJob)
+	}
+	if poisonedJob.Attempts != 2 {
+		t.Fatalf("poisoned after %d attempts, want exactly the budget (2)", poisonedJob.Attempts)
+	}
+	if poisonedJob.ErrKind != "panic" {
+		t.Fatalf("poisoned ErrKind = %q, want panic", poisonedJob.ErrKind)
+	}
+	if healthy.State != client.StateDone {
+		t.Fatalf("unfaulted job: %+v, want done (poison must not spread)", healthy)
+	}
+	if _, err := os.Stat(filepath.Join(dir, poisonedFile)); err != nil {
+		t.Fatalf("no %s after quarantine: %v", poisonedFile, err)
+	}
+
+	// A restarted server inherits the quarantine: the resubmission is
+	// instantly terminal with the recorded structured failure — no queue
+	// traffic, no fresh attempts.
+	s2 := newServerOpts(serverOptions{
+		Store: mustOpenStore(t, dir), Workers: 1, QueueCap: 16,
+		Logf: t.Logf, Fault: plan, PoisonAttempts: 2,
+	})
+	c2, stop2 := testClient(t, s2)
+	defer stop2()
+	bs, err := c2.Submit(context.Background(), testManifest(t, "Stream"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bs.Done {
+		t.Fatalf("poisoned resubmit not instantly done: %+v", bs)
+	}
+	js := bs.Jobs[0]
+	if js.State != client.StateFailed || !js.Poisoned || js.Attempts != 2 || js.Error == "" {
+		t.Fatalf("poisoned resubmit: %+v, want instant structured failure", js)
+	}
+}
+
+// TestWatchKeepalive: a stream over an unchanging batch still emits
+// periodic snapshots, so a client idle watchdog can tell quiet from dead.
+func TestWatchKeepalive(t *testing.T) {
+	s := newServer(nil, 0, 16, t.Logf) // no workers: the batch never changes
+	ts := httptest.NewServer(s.mux)
+	defer ts.Close()
+	bs, code, err := s.submit(testManifest(t, "Stream"))
+	if err != nil {
+		t.Fatalf("submit: code %d err %v", code, err)
+	}
+	_ = code
+	ctx, cancel := context.WithTimeout(context.Background(), 2*watchKeepalive+time.Second)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, ts.URL+"/v1/batches/"+bs.ID+"/watch", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	dec := json.NewDecoder(resp.Body)
+	n := 0
+	for n < 2 {
+		var snap client.BatchStatus
+		if err := dec.Decode(&snap); err != nil {
+			break
+		}
+		n++
+	}
+	if n < 2 {
+		t.Fatalf("unchanging batch sent %d snapshots in %v, want >= 2 keepalives", n, 2*watchKeepalive+time.Second)
 	}
 }

@@ -20,7 +20,13 @@
 // run cache deduplicates repeats. Output is byte-identical for any -j.
 // With -store DIR the runner gains a durable tier: cells any prior process
 // simulated are served from disk, fresh ones are persisted. With -server
-// URL phase 2 is executed remotely by a shared mcmserve instance instead.
+// URL phase 2 is executed remotely by a shared mcmserve instance instead;
+// a comma-separated URL list forms a fault-tolerant pool — jobs shard
+// across ready backends, a dead or draining backend's shard fails over
+// (idempotent by content-derived job identity), per-backend circuit
+// breakers route around repeat offenders, and straggling result fetches
+// are hedged to a second backend. SIGINT/SIGTERM cancels the sweep
+// promptly, local or remote, including mid-backoff sleeps.
 //
 // Usage:
 //
@@ -30,11 +36,13 @@
 //	sweep -phase2-frac 1 -scale 0.5      # legacy full simulation
 //	sweep -store /var/lib/mcmgpu         # durable cross-process result reuse
 //	sweep -server http://mcmserve:8037   # run phase 2 on the shared service
+//	sweep -server http://a:8037,http://b:8037,http://c:8037   # fault-tolerant pool
 //	sweep -workloads m-intensive -csv out.csv -bench-json BENCH_sweep.json
 package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -42,9 +50,11 @@ import (
 	"io"
 	"math"
 	"os"
+	"os/signal"
 	"sort"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"mcmgpu/internal/analytic"
@@ -87,9 +97,15 @@ func run() (code int) {
 		p2Frac    = flag.Float64("phase2-frac", 0.25, "fraction of grid cells to re-simulate in phase 2 (1 = simulate everything)")
 		benchJSON = flag.String("bench-json", "", "write phase throughput numbers (cells/sec analytic vs cycle-level) to this JSON file")
 		storeDir  = flag.String("store", "", "durable run store directory: serve warm cells from disk and persist fresh ones")
-		server    = flag.String("server", "", "mcmserve URL: run phase 2 remotely on the shared service instead of in-process")
+		server    = flag.String("server", "", "comma-separated mcmserve URLs: run phase 2 remotely; more than one URL forms a fault-tolerant pool")
 	)
 	flag.Parse()
+
+	// One context covers the whole sweep: SIGINT/SIGTERM cancels in-flight
+	// simulations (local or remote) AND any retry-backoff sleep the client
+	// is in — a canceled sweep exits promptly, it does not finish a nap.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
 
 	fail := func(err error) int {
 		fmt.Fprintln(os.Stderr, "sweep:", err)
@@ -135,7 +151,7 @@ func run() (code int) {
 			return fail(errors.New("-server cannot apply a local simulation fault plan; unset MCMGPU_FAULT or run locally"))
 		}
 	}
-	limits := core.RunOptions{MaxEvents: *maxEvents, Audit: *auditOn}
+	limits := core.RunOptions{Ctx: ctx, MaxEvents: *maxEvents, Audit: *auditOn}
 	if *timeout > 0 {
 		limits.WallDeadline = time.Now().Add(*timeout)
 	}
@@ -229,7 +245,7 @@ func run() (code int) {
 			err     error
 		)
 		if *server != "" {
-			results, err = runRemote(*server, jobList, *maxEvents, *auditOn, warnf)
+			results, err = runRemote(ctx, *server, jobList, *maxEvents, *auditOn, warnf)
 		} else {
 			results, err = r.Run(jobList)
 		}
@@ -301,13 +317,16 @@ func run() (code int) {
 	return code
 }
 
-// runRemote executes the phase 2 job list on a shared mcmserve instance.
-// Job identity is content-derived on the server, so resubmitting after a
-// transport failure is idempotent, and cells any client already ran come
-// back from the service's durable store without a simulation. Failed or
+// runRemote executes the phase 2 job list on one or more shared mcmserve
+// backends (comma-separated URLs) through a fault-tolerant pool. Job
+// identity is content-derived on the server, so resubmitting a shard after
+// a backend dies is idempotent, and cells any client already ran come back
+// from the service's durable store without a simulation. Failed or
 // canceled jobs map to nil result slots plus a runner.JobErrors — exactly
-// what the local r.Run contract gives -keep-going.
-func runRemote(baseURL string, jobList []runner.Job, maxEvents uint64, audit bool, warnf func(string, ...interface{})) ([]*core.Result, error) {
+// what the local r.Run contract gives -keep-going; a poisoned job's error
+// names the cell and its exhausted attempt budget so the operator knows
+// retrying elsewhere is pointless.
+func runRemote(ctx context.Context, servers string, jobList []runner.Job, maxEvents uint64, audit bool, warnf func(string, ...interface{})) ([]*core.Result, error) {
 	m := client.Manifest{
 		MaxEvents: maxEvents,
 		Audit:     audit,
@@ -323,8 +342,21 @@ func runRemote(baseURL string, jobList []runner.Job, maxEvents uint64, audit boo
 			Scale:    j.Scale,
 		})
 	}
-	c := &client.Client{BaseURL: baseURL, Logf: warnf}
-	results, statuses, err := c.Run(m)
+	var urls []string
+	for _, u := range strings.Split(servers, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			urls = append(urls, u)
+		}
+	}
+	if len(urls) == 0 {
+		return nil, errors.New("-server has no URLs")
+	}
+	pool := client.NewPool(urls, &client.Client{Logf: warnf})
+	results, statuses, err := pool.Run(ctx, m)
+	if ps := pool.Stats(); ps.Failovers+ps.Resubmits+ps.Hedged > 0 {
+		warnf("pool: %d backend failovers, %d resubmitted jobs, %d hedged result fetches",
+			ps.Failovers, ps.Resubmits, ps.Hedged)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -336,6 +368,9 @@ func runRemote(baseURL string, jobList []runner.Job, maxEvents uint64, audit boo
 		msg := st.Error
 		if msg == "" {
 			msg = st.State
+		}
+		if st.Poisoned {
+			msg = fmt.Sprintf("poisoned after %d deterministic failures: %s", st.Attempts, msg)
 		}
 		jerrs = append(jerrs, &runner.JobError{
 			Index:    i,

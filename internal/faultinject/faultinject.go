@@ -87,6 +87,47 @@ const (
 	// saturated disk; it proves timeouts and progress reporting survive a
 	// slow store rather than wedging on it.
 	StoreSlowIO
+
+	// The net fault family targets the HTTP path between a sweep client and
+	// its mcmserve backends instead of the event loop or the store. Net
+	// plans are consumed by internal/chaosproxy, which sits in front of a
+	// backend and injects the fault into matching proxied requests. AtEvent
+	// is the zero-based sequence number of the first matching request the
+	// fault applies to; Times bounds how many consecutive matching requests
+	// it applies to (0 = every one from AtEvent on, which is how a
+	// permanently black-holed backend is modeled); and the filter after ':'
+	// restricts the fault to request paths containing that substring. Net
+	// plans never match simulation runs or store operations, so arming one
+	// perturbs only the wire — which is what lets tests prove the client's
+	// retry, failover, hedging and stream-resume paths each fire without
+	// also perturbing the simulations they protect.
+
+	// NetDrop closes the TCP connection before writing any response bytes —
+	// the wire artifact of a crashed backend or a broken middlebox. The
+	// client sees a transport error (EOF / connection reset) and must retry.
+	NetDrop
+	// NetTruncate forwards the backend's response but cuts the body short
+	// and closes the connection, preserving the original framing so the
+	// client observes an unexpected EOF mid-body — a torn NDJSON stream or
+	// a half-delivered result JSON. Decode failures must be treated as
+	// retryable transport damage, never as a terminal answer.
+	NetTruncate
+	// Net5xx answers 503 without contacting the backend, modeling an
+	// overloaded or crashing reverse proxy; the client's retry loop must
+	// absorb bounded bursts.
+	Net5xx
+	// Net429 answers 429 with a Retry-After header without contacting the
+	// backend; the client must honor the header as its backoff floor.
+	Net429
+	// NetLatency delays matching requests before forwarding them, modeling
+	// a congested path or a struggling backend; it is what hedged requests
+	// exist to race against.
+	NetLatency
+	// NetBlackhole accepts the connection and never answers — the failure
+	// mode TCP cannot distinguish from "slow" — until the request context
+	// ends or the proxy closes. Only client-side timeouts, health probes and
+	// circuit breakers can route around it.
+	NetBlackhole
 )
 
 // Valid corrupt-counter targets. Each names the counter internal/core
@@ -151,6 +192,18 @@ func (k Kind) String() string {
 		return "store-eio"
 	case StoreSlowIO:
 		return "store-slow-io"
+	case NetDrop:
+		return "net-drop"
+	case NetTruncate:
+		return "net-truncate"
+	case Net5xx:
+		return "net-5xx"
+	case Net429:
+		return "net-429"
+	case NetLatency:
+		return "net-latency"
+	case NetBlackhole:
+		return "net-blackhole"
 	}
 	return fmt.Sprintf("Kind(%d)", int(k))
 }
@@ -167,11 +220,18 @@ type Plan struct {
 	AtEvent uint64
 	// Workload, when non-empty, restricts the fault to runs of the workload
 	// with this name; other runs are untouched. Store kinds reuse the field
-	// as a store-key substring filter (see MatchesStore).
+	// as a store-key substring filter (see MatchesStore); net kinds reuse it
+	// as a request-path substring filter (see MatchesNet).
 	Workload string
 	// Target selects which counter a CorruptCounter plan perturbs (one of
 	// the Target* constants); empty for every other kind.
 	Target string
+	// Times bounds how many consecutive matching operations a net plan
+	// applies to, starting at AtEvent; 0 means every matching operation from
+	// AtEvent on. Only net kinds accept it (syntax "kind@N#M"): engine and
+	// store faults fire once or forever by design, and silently carrying an
+	// ignored count would make a plan lie about what it does.
+	Times uint64
 }
 
 // Enabled reports whether the plan injects anything.
@@ -187,12 +247,23 @@ func (p Plan) IsStore() bool {
 	return false
 }
 
+// IsNet reports whether the plan targets the HTTP path between clients and
+// backends rather than the simulation event loop or the store.
+func (p Plan) IsNet() bool {
+	switch p.Kind {
+	case NetDrop, NetTruncate, Net5xx, Net429, NetLatency, NetBlackhole:
+		return true
+	}
+	return false
+}
+
 // Matches reports whether the plan applies to a run of the named workload.
-// Store plans never match a simulation run: they are consumed by the store
-// layer (see MatchesStore), and letting them leak into engine options would
-// both perturb cache keys and hand core a fault it cannot perform.
+// Store and net plans never match a simulation run: they are consumed by the
+// store layer and the chaos proxy respectively (see MatchesStore and
+// MatchesNet), and letting them leak into engine options would both perturb
+// cache keys and hand core a fault it cannot perform.
 func (p Plan) Matches(workload string) bool {
-	return p.Enabled() && !p.IsStore() && (p.Workload == "" || p.Workload == workload)
+	return p.Enabled() && !p.IsStore() && !p.IsNet() && (p.Workload == "" || p.Workload == workload)
 }
 
 // MatchesStore reports whether a store plan applies to an operation on the
@@ -201,6 +272,24 @@ func (p Plan) Matches(workload string) bool {
 // family without quoting full fingerprints.
 func (p Plan) MatchesStore(key string) bool {
 	return p.IsStore() && (p.Workload == "" || strings.Contains(key, p.Workload))
+}
+
+// MatchesNet reports whether a net plan applies to a request on the given
+// URL path. The plan's filter (the part after ':') is a substring match so
+// one plan can target one endpoint family ("net-drop@0:/watch") without
+// spelling out full URLs.
+func (p Plan) MatchesNet(path string) bool {
+	return p.IsNet() && (p.Workload == "" || strings.Contains(path, p.Workload))
+}
+
+// FiresAt reports whether a net plan fires on the n-th (zero-based)
+// matching request: n >= AtEvent and, when Times bounds the burst, within
+// its window.
+func (p Plan) FiresAt(n uint64) bool {
+	if n < p.AtEvent {
+		return false
+	}
+	return p.Times == 0 || n < p.AtEvent+p.Times
 }
 
 // String renders the plan in the syntax Parse accepts ("" when disabled).
@@ -213,6 +302,9 @@ func (p Plan) String() string {
 		s += "." + p.Target
 	}
 	s += fmt.Sprintf("@%d", p.AtEvent)
+	if p.Times > 0 {
+		s += fmt.Sprintf("#%d", p.Times)
+	}
 	if p.Workload != "" {
 		s += ":" + p.Workload
 	}
@@ -223,8 +315,10 @@ func (p Plan) String() string {
 // "panic@1000", "stall@50000:GEMM". The corrupt-counter kind carries its
 // target as a suffix: "corrupt-counter.line-reads@1000". Store kinds use
 // the same shape with store-operation counts and key filters:
-// "store-torn-write@3", "store-eio@0:Stream". An empty string is the
-// disabled plan.
+// "store-torn-write@3", "store-eio@0:Stream". Net kinds count proxied
+// requests, accept an optional burst length after '#', and filter on the
+// request path: "net-drop@2#3", "net-truncate@0:/watch". An empty string is
+// the disabled plan.
 func Parse(s string) (Plan, error) {
 	if s == "" {
 		return Plan{}, nil
@@ -259,6 +353,18 @@ func Parse(s string) (Plan, error) {
 		p.Kind = StoreEIO
 	case kindStr == "store-slow-io":
 		p.Kind = StoreSlowIO
+	case kindStr == "net-drop":
+		p.Kind = NetDrop
+	case kindStr == "net-truncate":
+		p.Kind = NetTruncate
+	case kindStr == "net-5xx":
+		p.Kind = Net5xx
+	case kindStr == "net-429":
+		p.Kind = Net429
+	case kindStr == "net-latency":
+		p.Kind = NetLatency
+	case kindStr == "net-blackhole":
+		p.Kind = NetBlackhole
 	case strings.HasPrefix(kindStr, "corrupt-counter"):
 		p.Kind = CorruptCounter
 		p.Target = strings.TrimPrefix(strings.TrimPrefix(kindStr, "corrupt-counter"), ".")
@@ -267,7 +373,17 @@ func Parse(s string) (Plan, error) {
 				s, p.Target, strings.Join(Targets(), ", "))
 		}
 	default:
-		return Plan{}, fmt.Errorf("faultinject: %q: unknown kind %q (want panic, stall, spin, corrupt, corrupt-counter.<target>, store-torn-write, store-corrupt-blob, store-eio or store-slow-io)", s, kindStr)
+		return Plan{}, fmt.Errorf("faultinject: %q: unknown kind %q (want panic, stall, spin, corrupt, corrupt-counter.<target>, store-torn-write, store-corrupt-blob, store-eio, store-slow-io, net-drop, net-truncate, net-5xx, net-429, net-latency or net-blackhole)", s, kindStr)
+	}
+	if atStr, rest, ok = strings.Cut(atStr, "#"); ok {
+		if !p.IsNet() {
+			return Plan{}, fmt.Errorf("faultinject: %q: burst count '#' is only valid on net kinds", s)
+		}
+		times, err := strconv.ParseUint(rest, 10, 64)
+		if err != nil || times == 0 {
+			return Plan{}, fmt.Errorf("faultinject: %q: bad burst count %q", s, rest)
+		}
+		p.Times = times
 	}
 	at, err := strconv.ParseUint(atStr, 10, 64)
 	if err != nil {
@@ -275,6 +391,25 @@ func Parse(s string) (Plan, error) {
 	}
 	p.AtEvent = at
 	return p, nil
+}
+
+// ParseList parses a comma-separated list of plans ("net-drop@0#1,
+// net-5xx@4#2"). Empty elements are skipped, so a trailing comma is not an
+// error; an empty string is the empty list.
+func ParseList(s string) ([]Plan, error) {
+	var plans []Plan
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		p, err := Parse(part)
+		if err != nil {
+			return nil, err
+		}
+		plans = append(plans, p)
+	}
+	return plans, nil
 }
 
 // FromEnv parses the plan armed through the MCMGPU_FAULT environment

@@ -1,0 +1,46 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"mcmgpu/internal/core"
+)
+
+// TestClassify pins the error partition the cache, store, and service all
+// share: wall-time failures (canceled, deadline) are non-deterministic and
+// must never be memoized or quarantined; everything else is a property of
+// the job key.
+func TestClassify(t *testing.T) {
+	sim := func(k core.ErrKind) error { return &core.SimError{Kind: k} }
+	cases := []struct {
+		err  error
+		want ErrClass
+		det  bool
+	}{
+		{nil, ClassNone, false},
+		{context.Canceled, ClassCanceled, false},
+		{context.DeadlineExceeded, ClassTransient, false},
+		{sim(core.KindCanceled), ClassCanceled, false},
+		{sim(core.KindWallDeadline), ClassTransient, false},
+		{sim(core.KindMaxEvents), ClassBudget, true},
+		{sim(core.KindMaxCycles), ClassBudget, true},
+		{sim(core.KindInvariant), ClassInvariant, true},
+		{&PanicError{Value: "boom"}, ClassPanic, true},
+		{errors.New("bad config"), ClassError, true},
+		// Wrapped errors classify through errors.As/Is chains.
+		{fmt.Errorf("job 3: %w", sim(core.KindMaxEvents)), ClassBudget, true},
+		{fmt.Errorf("wrap: %w", context.Canceled), ClassCanceled, false},
+		{&JobError{Index: 1, Err: &PanicError{Value: "x"}}, ClassPanic, true},
+	}
+	for _, c := range cases {
+		if got := Classify(c.err); got != c.want {
+			t.Errorf("Classify(%v) = %q, want %q", c.err, got, c.want)
+		}
+		if got := Classify(c.err).Deterministic(); got != c.det {
+			t.Errorf("Classify(%v).Deterministic() = %v, want %v", c.err, got, c.det)
+		}
+	}
+}

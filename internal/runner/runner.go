@@ -19,8 +19,6 @@ package runner
 
 import (
 	"bytes"
-	"context"
-	"errors"
 	"fmt"
 	"io"
 	"runtime"
@@ -511,16 +509,10 @@ func (c *Cache) do(key string, fn func() (*core.Result, error)) (*core.Result, e
 
 // isTransient reports whether err depends on wall time rather than on the
 // simulation key: wall-deadline trips and context cancellations can succeed
-// on retry, so memoizing them would poison the cache.
+// on retry, so memoizing them would poison the cache. This is the cache's
+// view of the shared Classify partition.
 func isTransient(err error) bool {
-	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
-		return true
-	}
-	var se *core.SimError
-	if errors.As(err, &se) {
-		return se.Kind == core.KindCanceled || se.Kind == core.KindWallDeadline
-	}
-	return false
+	return !Classify(err).Deterministic()
 }
 
 // Stats returns a snapshot of cache effectiveness counters.

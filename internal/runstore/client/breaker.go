@@ -1,0 +1,183 @@
+package client
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Breaker states.
+const (
+	// BreakerClosed: the backend is trusted; requests flow.
+	BreakerClosed = "closed"
+	// BreakerOpen: the backend failed repeatedly; requests are refused
+	// until the cooldown expires.
+	BreakerOpen = "open"
+	// BreakerHalfOpen: the cooldown expired; exactly one probe request is
+	// admitted to decide whether the backend recovered.
+	BreakerHalfOpen = "half-open"
+)
+
+// Breaker is a per-backend circuit breaker. A backend that fails
+// Threshold consecutive requests stops receiving traffic for a cooldown;
+// after the cooldown one probe request is admitted (half-open), and its
+// outcome either closes the breaker or re-opens it with an escalated,
+// jittered cooldown. The jitter matters in a fleet: without it, every
+// client's breaker over a recovering backend reopens at the same instant
+// and the stampede knocks it over again.
+//
+// The zero value is a usable closed breaker with defaults. All methods
+// are safe for concurrent use.
+type Breaker struct {
+	// Threshold is how many consecutive failures open the breaker
+	// (default 3).
+	Threshold int
+	// Cooldown is the first open interval (default 2s). Each consecutive
+	// open doubles it, up to MaxCooldown.
+	Cooldown time.Duration
+	// MaxCooldown caps the escalation (default 30s).
+	MaxCooldown time.Duration
+
+	// now and jitter are injectable for deterministic tests; nil means
+	// time.Now and a rand.Int63n over the half-cooldown.
+	now    func() time.Time
+	jitter func(max int64) int64
+
+	mu      sync.Mutex
+	state   string // "" means closed
+	fails   int    // consecutive failures while closed
+	opens   int    // consecutive opens; escalates the cooldown
+	until   time.Time
+	probing bool // a half-open probe is in flight
+	rng     *rand.Rand
+}
+
+func (b *Breaker) threshold() int {
+	if b.Threshold > 0 {
+		return b.Threshold
+	}
+	return 3
+}
+
+func (b *Breaker) cooldownBase() time.Duration {
+	if b.Cooldown > 0 {
+		return b.Cooldown
+	}
+	return 2 * time.Second
+}
+
+func (b *Breaker) maxCooldown() time.Duration {
+	if b.MaxCooldown > 0 {
+		return b.MaxCooldown
+	}
+	return 30 * time.Second
+}
+
+func (b *Breaker) clock() time.Time {
+	if b.now != nil {
+		return b.now()
+	}
+	return time.Now()
+}
+
+// nextCooldown is the open interval after the n-th consecutive open
+// (1-based): base doubled per open, capped, plus up to 50% uniform jitter.
+// Called with b.mu held.
+func (b *Breaker) nextCooldown(n int) time.Duration {
+	d := b.cooldownBase()
+	for i := 1; i < n && d < b.maxCooldown(); i++ {
+		d *= 2
+	}
+	if d > b.maxCooldown() {
+		d = b.maxCooldown()
+	}
+	var j int64
+	if b.jitter != nil {
+		j = b.jitter(int64(d) / 2)
+	} else {
+		if b.rng == nil {
+			b.rng = rand.New(rand.NewSource(time.Now().UnixNano()))
+		}
+		j = b.rng.Int63n(int64(d)/2 + 1)
+	}
+	return d + time.Duration(j)
+}
+
+// Allow reports whether a request may be sent to this backend now. While
+// open it returns false until the cooldown expires; the first Allow after
+// expiry transitions to half-open and admits that single caller as the
+// probe — concurrent callers keep getting false until the probe reports
+// via Record.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case "", BreakerClosed:
+		return true
+	case BreakerOpen:
+		if b.clock().Before(b.until) {
+			return false
+		}
+		b.state = BreakerHalfOpen
+		b.probing = true
+		return true
+	case BreakerHalfOpen:
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+	return true
+}
+
+// Record reports the outcome of a request Allow admitted. A success in
+// half-open closes the breaker and resets the escalation; a failure
+// re-opens it with a longer cooldown. While closed, Threshold consecutive
+// failures open it.
+func (b *Breaker) Record(ok bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if ok {
+		b.state = BreakerClosed
+		b.fails = 0
+		b.opens = 0
+		b.probing = false
+		return
+	}
+	switch b.state {
+	case "", BreakerClosed:
+		b.fails++
+		if b.fails >= b.threshold() {
+			b.open()
+		}
+	case BreakerHalfOpen:
+		b.open()
+	case BreakerOpen:
+		// A straggler from before the trip; the breaker already knows.
+	}
+}
+
+// open transitions to open with the next escalated cooldown. Called with
+// b.mu held.
+func (b *Breaker) open() {
+	b.opens++
+	b.state = BreakerOpen
+	b.fails = 0
+	b.probing = false
+	b.until = b.clock().Add(b.nextCooldown(b.opens))
+}
+
+// State returns the current breaker state, advancing open → half-open if
+// the cooldown has expired (without admitting a probe).
+func (b *Breaker) State() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == "" {
+		return BreakerClosed
+	}
+	if b.state == BreakerOpen && !b.clock().Before(b.until) {
+		return BreakerHalfOpen
+	}
+	return b.state
+}

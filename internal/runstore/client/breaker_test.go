@@ -1,0 +1,120 @@
+package client
+
+import (
+	"testing"
+	"time"
+)
+
+// scripted returns a breaker on a manual clock with zero jitter, so every
+// transition in the test is deterministic.
+func scripted(threshold int, cooldown time.Duration) (*Breaker, *time.Time) {
+	now := time.Unix(1000, 0)
+	b := &Breaker{
+		Threshold: threshold,
+		Cooldown:  cooldown,
+		now:       func() time.Time { return now },
+		jitter:    func(int64) int64 { return 0 },
+	}
+	return b, &now
+}
+
+// TestBreakerOpensAtThreshold: consecutive failures trip the breaker;
+// a success along the way resets the count.
+func TestBreakerOpensAtThreshold(t *testing.T) {
+	b, _ := scripted(3, 2*time.Second)
+	b.Record(false)
+	b.Record(false)
+	b.Record(true) // resets the streak
+	b.Record(false)
+	b.Record(false)
+	if b.State() != BreakerClosed {
+		t.Fatalf("state %q after 2 failures post-reset, want closed", b.State())
+	}
+	b.Record(false)
+	if b.State() != BreakerOpen {
+		t.Fatalf("state %q after 3 consecutive failures, want open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("open breaker admitted a request")
+	}
+}
+
+// TestBreakerHalfOpenSingleProbe: after the cooldown exactly one caller is
+// admitted as the probe; its success closes the breaker.
+func TestBreakerHalfOpenSingleProbe(t *testing.T) {
+	b, now := scripted(1, 2*time.Second)
+	b.Record(false) // trip
+	if b.Allow() {
+		t.Fatal("open breaker admitted a request before cooldown")
+	}
+	*now = now.Add(2*time.Second + time.Millisecond)
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state %q after cooldown, want half-open", b.State())
+	}
+	if !b.Allow() {
+		t.Fatal("half-open breaker refused the probe")
+	}
+	if b.Allow() {
+		t.Fatal("half-open breaker admitted a second concurrent probe")
+	}
+	b.Record(true)
+	if b.State() != BreakerClosed || !b.Allow() {
+		t.Fatalf("successful probe did not close the breaker (state %q)", b.State())
+	}
+}
+
+// TestBreakerEscalatesCooldown: a failed probe re-opens with a doubled
+// cooldown, capped at MaxCooldown; a success resets the escalation.
+func TestBreakerEscalatesCooldown(t *testing.T) {
+	b, now := scripted(1, 2*time.Second)
+	b.MaxCooldown = 5 * time.Second
+
+	wait := func(want time.Duration) {
+		t.Helper()
+		*now = now.Add(want - time.Millisecond)
+		if b.Allow() {
+			t.Fatalf("breaker reopened before its %v cooldown", want)
+		}
+		*now = now.Add(2 * time.Millisecond)
+		if !b.Allow() {
+			t.Fatalf("breaker still closed to probes after %v", want)
+		}
+	}
+
+	b.Record(false) // open #1: 2s
+	wait(2 * time.Second)
+	b.Record(false) // probe failed → open #2: 4s
+	wait(4 * time.Second)
+	b.Record(false) // open #3: 8s capped to 5s
+	wait(5 * time.Second)
+	b.Record(true) // recovered: escalation resets
+	b.Record(false)
+	wait(2 * time.Second)
+}
+
+// TestBreakerJitterBounds: real (non-scripted) cooldowns carry up to 50%
+// additive jitter — never shorter than the base, never more than 1.5x.
+func TestBreakerJitterBounds(t *testing.T) {
+	b := &Breaker{Cooldown: 2 * time.Second}
+	for i := 0; i < 100; i++ {
+		d := b.nextCooldown(1)
+		if d < 2*time.Second || d > 3*time.Second {
+			t.Fatalf("cooldown %v outside [2s, 3s]", d)
+		}
+	}
+}
+
+// TestBreakerZeroValue: the zero value is a working closed breaker with
+// the documented defaults.
+func TestBreakerZeroValue(t *testing.T) {
+	var b Breaker
+	if !b.Allow() || b.State() != BreakerClosed {
+		t.Fatal("zero-value breaker is not a usable closed breaker")
+	}
+	for i := 0; i < 3; i++ {
+		b.Record(false)
+	}
+	if b.State() != BreakerOpen {
+		t.Fatalf("default threshold: state %q after 3 failures, want open", b.State())
+	}
+}

@@ -11,12 +11,14 @@ package client
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"math/rand"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -53,6 +55,11 @@ const (
 	StateCanceled = "canceled"
 )
 
+// terminal reports whether a job state is final.
+func terminal(state string) bool {
+	return state == StateDone || state == StateFailed || state == StateCanceled
+}
+
 // Result sources reported for done jobs.
 const (
 	SourceStore   = "store"   // served from the durable store, no simulation
@@ -69,6 +76,15 @@ type JobStatus struct {
 	Error    string `json:"error,omitempty"`
 	Workload string `json:"workload,omitempty"`
 	Config   string `json:"config,omitempty"`
+	// ErrKind classifies a failed job (runner.ErrClass values: "panic",
+	// "budget", "invariant", "transient", "error").
+	ErrKind string `json:"err_kind,omitempty"`
+	// Attempts is how many times the server ran the job.
+	Attempts int `json:"attempts,omitempty"`
+	// Poisoned marks a job quarantined after exhausting the server's
+	// attempt budget on deterministic failures; resubmitting it returns the
+	// same structured failure instantly instead of retrying forever.
+	Poisoned bool `json:"poisoned,omitempty"`
 }
 
 // Done reports whether the job reached a terminal state.
@@ -89,15 +105,56 @@ type ErrorBody struct {
 	Error string `json:"error"`
 }
 
-// StatusError is a non-2xx response the client will not retry (4xx class,
-// minus 429).
+// StatusError is a non-2xx response. The 4xx class (minus 429) is never
+// retried; 429 and 5xx are.
 type StatusError struct {
 	Code int
 	Msg  string
+	// RetryAfter is the server's Retry-After header when one was sent; the
+	// retry loop honors it as the floor of its next backoff delay, so a
+	// loaded server's own estimate always wins over the client's schedule.
+	RetryAfter time.Duration
 }
 
 func (e *StatusError) Error() string {
 	return fmt.Sprintf("mcmserve: HTTP %d: %s", e.Code, e.Msg)
+}
+
+// Retryable reports whether err can succeed on a retry against the same
+// server: transport damage (including truncated responses that fail JSON
+// decoding), 429 backpressure, and 5xx. Deterministic 4xx responses are
+// not retryable. The protocol's idempotence is what makes retrying always
+// safe.
+func Retryable(err error) bool {
+	if err == nil {
+		return false
+	}
+	var se *StatusError
+	if errors.As(err, &se) {
+		return se.Code == http.StatusTooManyRequests || se.Code >= 500
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	return true // transport-class: conn refused/reset, EOF, decode damage
+}
+
+// sleepCtx waits d or until ctx is done, whichever comes first — a
+// canceled sweep aborts an in-flight backoff sleep immediately instead of
+// finishing it.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if ctx == nil {
+		time.Sleep(d)
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
 }
 
 // Client talks to one mcmserve instance. The zero value is not usable;
@@ -118,6 +175,11 @@ type Client struct {
 	// retry doubles it, and every delay gets up to 50% uniform jitter so
 	// synchronized clients do not stampede a recovering server.
 	Backoff time.Duration
+	// WatchIdleTimeout is how long a watch stream may go silent before
+	// WatchBatch declares the connection dead and reconnects (default
+	// 15s; the server keepalives every ~2s, so only a genuinely dead
+	// connection trips this).
+	WatchIdleTimeout time.Duration
 	// Logf, when non-nil, receives retry diagnostics.
 	Logf func(format string, args ...interface{})
 
@@ -168,9 +230,11 @@ func (c *Client) delay(n int) time.Duration {
 }
 
 // do performs one request with retries, decoding a 2xx JSON body into out
-// (when non-nil). Transport failures, 429 and 5xx retry with exponential
-// backoff + jitter; other non-2xx statuses return a *StatusError at once.
-func (c *Client) do(method, path string, in, out interface{}) error {
+// (when non-nil). Transport failures, truncated bodies, 429 and 5xx retry
+// with exponential backoff + jitter (Retry-After, when the server sent
+// one, floors the delay); other non-2xx statuses return a *StatusError at
+// once. A done ctx aborts immediately — including out of a backoff sleep.
+func (c *Client) do(ctx context.Context, method, path string, in, out interface{}) error {
 	c.init()
 	var body []byte
 	if in != nil {
@@ -181,12 +245,14 @@ func (c *Client) do(method, path string, in, out interface{}) error {
 	}
 	var last error
 	for attempt := 0; ; attempt++ {
-		err := c.once2xx(method, path, body, out)
+		err := c.once2xx(ctx, method, path, body, out)
 		if err == nil {
 			return nil
 		}
-		var se *StatusError
-		if errors.As(err, &se) && se.Code != http.StatusTooManyRequests && se.Code < 500 {
+		if ctx != nil && ctx.Err() != nil {
+			return fmt.Errorf("mcmserve: %s %s: %w", method, path, ctx.Err())
+		}
+		if !Retryable(err) {
 			return err
 		}
 		last = err
@@ -195,14 +261,23 @@ func (c *Client) do(method, path string, in, out interface{}) error {
 				method, path, attempt+1, last)
 		}
 		d := c.delay(attempt)
+		var se *StatusError
+		if errors.As(err, &se) && se.RetryAfter > d {
+			d = se.RetryAfter
+		}
 		c.logf("mcmserve: %s %s attempt %d failed (%v), retrying in %v",
 			method, path, attempt+1, err, d)
-		time.Sleep(d)
+		if serr := sleepCtx(ctx, d); serr != nil {
+			return fmt.Errorf("mcmserve: %s %s: %w", method, path, serr)
+		}
 	}
 }
 
-func (c *Client) once2xx(method, path string, body []byte, out interface{}) error {
-	req, err := http.NewRequest(method, strings.TrimSuffix(c.BaseURL, "/")+path, bytes.NewReader(body))
+func (c *Client) once2xx(ctx context.Context, method, path string, body []byte, out interface{}) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	req, err := http.NewRequestWithContext(ctx, method, strings.TrimSuffix(c.BaseURL, "/")+path, bytes.NewReader(body))
 	if err != nil {
 		return err
 	}
@@ -220,47 +295,56 @@ func (c *Client) once2xx(method, path string, body []byte, out interface{}) erro
 		if json.Unmarshal(data, &eb) != nil || eb.Error == "" {
 			eb.Error = strings.TrimSpace(string(data))
 		}
-		return &StatusError{Code: resp.StatusCode, Msg: eb.Error}
+		se := &StatusError{Code: resp.StatusCode, Msg: eb.Error}
+		if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && ra > 0 {
+			se.RetryAfter = time.Duration(ra) * time.Second
+		}
+		return se
 	}
 	if out == nil {
 		io.Copy(io.Discard, resp.Body)
 		return nil
 	}
-	return json.NewDecoder(resp.Body).Decode(out)
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		// A decode failure on a 2xx is transport damage (a truncated or
+		// torn body), not a server answer: report it as retryable.
+		return fmt.Errorf("decoding %s %s response: %w", method, path, err)
+	}
+	return nil
 }
 
 // Submit posts a manifest and returns the batch status — job IDs assigned,
 // warm cells already done with SourceStore. Safe to re-call on any failure.
-func (c *Client) Submit(m Manifest) (*BatchStatus, error) {
+func (c *Client) Submit(ctx context.Context, m Manifest) (*BatchStatus, error) {
 	var bs BatchStatus
-	if err := c.do(http.MethodPost, "/v1/batches", m, &bs); err != nil {
+	if err := c.do(ctx, http.MethodPost, "/v1/batches", m, &bs); err != nil {
 		return nil, err
 	}
 	return &bs, nil
 }
 
 // Batch fetches the current status of a batch.
-func (c *Client) Batch(id string) (*BatchStatus, error) {
+func (c *Client) Batch(ctx context.Context, id string) (*BatchStatus, error) {
 	var bs BatchStatus
-	if err := c.do(http.MethodGet, "/v1/batches/"+id, nil, &bs); err != nil {
+	if err := c.do(ctx, http.MethodGet, "/v1/batches/"+id, nil, &bs); err != nil {
 		return nil, err
 	}
 	return &bs, nil
 }
 
 // Job fetches the current status of one job.
-func (c *Client) Job(id string) (*JobStatus, error) {
+func (c *Client) Job(ctx context.Context, id string) (*JobStatus, error) {
 	var js JobStatus
-	if err := c.do(http.MethodGet, "/v1/jobs/"+id, nil, &js); err != nil {
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &js); err != nil {
 		return nil, err
 	}
 	return &js, nil
 }
 
 // Result fetches the result of a done job.
-func (c *Client) Result(id string) (*core.Result, error) {
+func (c *Client) Result(ctx context.Context, id string) (*core.Result, error) {
 	var res core.Result
-	if err := c.do(http.MethodGet, "/v1/jobs/"+id+"/result", nil, &res); err != nil {
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id+"/result", nil, &res); err != nil {
 		return nil, err
 	}
 	return &res, nil
@@ -268,29 +352,51 @@ func (c *Client) Result(id string) (*core.Result, error) {
 
 // CancelJob asks the server to cancel one job (queued jobs are dropped,
 // running jobs get their context canceled).
-func (c *Client) CancelJob(id string) error {
-	return c.do(http.MethodPost, "/v1/jobs/"+id+"/cancel", nil, nil)
+func (c *Client) CancelJob(ctx context.Context, id string) error {
+	return c.do(ctx, http.MethodPost, "/v1/jobs/"+id+"/cancel", nil, nil)
 }
 
 // CancelBatch releases a batch's claim on its jobs; a job is canceled when
 // no live batch still references it.
-func (c *Client) CancelBatch(id string) error {
-	return c.do(http.MethodPost, "/v1/batches/"+id+"/cancel", nil, nil)
+func (c *Client) CancelBatch(ctx context.Context, id string) error {
+	return c.do(ctx, http.MethodPost, "/v1/batches/"+id+"/cancel", nil, nil)
+}
+
+// probe performs one single-attempt request — no retries, no backoff —
+// because a health check that retries is just a slow way to say "down".
+func (c *Client) probe(ctx context.Context, path string) error {
+	c.init()
+	return c.once2xx(ctx, http.MethodGet, path, nil, nil)
+}
+
+// Healthz reports whether the server process is alive (GET /healthz, one
+// attempt, no retries).
+func (c *Client) Healthz(ctx context.Context) error {
+	return c.probe(ctx, "/healthz")
+}
+
+// Readyz reports whether the server is accepting work (GET /readyz, one
+// attempt, no retries). A draining or saturated server fails this while
+// still passing Healthz — the signal a pool uses to route around it.
+func (c *Client) Readyz(ctx context.Context) error {
+	return c.probe(ctx, "/readyz")
 }
 
 // Wait polls a batch until every job is terminal, with gentle backoff
 // (100ms doubling to 2s), and returns the final status.
-func (c *Client) Wait(id string) (*BatchStatus, error) {
+func (c *Client) Wait(ctx context.Context, id string) (*BatchStatus, error) {
 	d := 100 * time.Millisecond
 	for {
-		bs, err := c.Batch(id)
+		bs, err := c.Batch(ctx, id)
 		if err != nil {
 			return nil, err
 		}
 		if bs.Done {
 			return bs, nil
 		}
-		time.Sleep(d)
+		if err := sleepCtx(ctx, d); err != nil {
+			return nil, err
+		}
 		if d < 2*time.Second {
 			d *= 2
 		}
@@ -302,12 +408,12 @@ func (c *Client) Wait(id string) (*BatchStatus, error) {
 // returned slice is manifest-ordered; failed or canceled jobs leave a nil
 // slot and contribute to the returned statuses, which callers inspect for
 // error rendering.
-func (c *Client) Run(m Manifest) ([]*core.Result, []JobStatus, error) {
-	bs, err := c.Submit(m)
+func (c *Client) Run(ctx context.Context, m Manifest) ([]*core.Result, []JobStatus, error) {
+	bs, err := c.Submit(ctx, m)
 	if err != nil {
 		return nil, nil, err
 	}
-	if bs, err = c.Wait(bs.ID); err != nil {
+	if bs, err = c.Wait(ctx, bs.ID); err != nil {
 		return nil, nil, err
 	}
 	results := make([]*core.Result, len(bs.Jobs))
@@ -315,7 +421,7 @@ func (c *Client) Run(m Manifest) ([]*core.Result, []JobStatus, error) {
 		if js.State != StateDone {
 			continue
 		}
-		if results[i], err = c.Result(js.ID); err != nil {
+		if results[i], err = c.Result(ctx, js.ID); err != nil {
 			return nil, nil, fmt.Errorf("fetching result of job %s: %w", js.ID, err)
 		}
 	}

@@ -1,0 +1,437 @@
+package client
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mcmgpu/internal/chaosproxy"
+	"mcmgpu/internal/core"
+	"mcmgpu/internal/faultinject"
+)
+
+// fakeStore is the shared durable tier several fake backends sit over,
+// the way real mcmserve instances share one run store: any backend can
+// serve any computed job ID.
+type fakeStore struct {
+	mu      sync.Mutex
+	results map[string]*core.Result
+}
+
+func newFakeStore() *fakeStore {
+	return &fakeStore{results: map[string]*core.Result{}}
+}
+
+// fakeBackend is a minimal mcmserve: content-derived job IDs, batches,
+// watch streams, results served from the shared fake store. Knobs let
+// tests script slow results and sudden death.
+type fakeBackend struct {
+	store *fakeStore
+	ts    *httptest.Server
+
+	mu      sync.Mutex
+	batches map[string][]string // batch id → job ids
+	jobs    map[string]fakeJob
+	nbatch  int
+	submits atomic.Int32
+
+	// resultDelay stalls every result fetch — the hedge-timer trigger.
+	resultDelay time.Duration
+	// jobLatency is how long a job "runs" before it is done.
+	jobLatency time.Duration
+	// dieAfterSubmit closes the listener right after the first successful
+	// submit, mid-batch — the killed-backend scenario.
+	dieAfterSubmit bool
+}
+
+type fakeJob struct {
+	id, workload string
+	doneAt       time.Time
+}
+
+func newFakeBackend(t *testing.T, store *fakeStore) *fakeBackend {
+	t.Helper()
+	b := &fakeBackend{
+		store:   store,
+		batches: map[string][]string{},
+		jobs:    map[string]fakeJob{},
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) { w.WriteHeader(200) })
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) { w.WriteHeader(200) })
+	mux.HandleFunc("/v1/batches", b.handleSubmit)
+	mux.HandleFunc("/v1/batches/", b.handleBatch)
+	mux.HandleFunc("/v1/jobs/", b.handleJob)
+	b.ts = httptest.NewServer(mux)
+	t.Cleanup(b.ts.Close)
+	return b
+}
+
+func fakeID(j JobRequest) string {
+	sum := sha256.Sum256([]byte(jobKey(j)))
+	return hex.EncodeToString(sum[:8])
+}
+
+func (b *fakeBackend) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var m Manifest
+	if err := json.NewDecoder(r.Body).Decode(&m); err != nil {
+		http.Error(w, `{"error":"bad manifest"}`, 400)
+		return
+	}
+	b.mu.Lock()
+	b.nbatch++
+	id := fmt.Sprintf("b%d", b.nbatch)
+	var ids []string
+	for _, j := range m.Jobs {
+		jid := fakeID(j)
+		ids = append(ids, jid)
+		if _, ok := b.jobs[jid]; !ok {
+			b.jobs[jid] = fakeJob{id: jid, workload: j.Workload, doneAt: time.Now().Add(b.jobLatency)}
+		}
+	}
+	b.batches[id] = ids
+	b.mu.Unlock()
+	b.submits.Add(1)
+	json.NewEncoder(w).Encode(b.status(id))
+	if b.dieAfterSubmit {
+		go b.ts.CloseClientConnections()
+		go b.ts.Close()
+	}
+}
+
+// status materializes a batch snapshot; jobs flip to done (and their
+// results land in the shared store) once their latency elapses.
+func (b *fakeBackend) status(id string) *BatchStatus {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	bs := &BatchStatus{ID: id, Done: true}
+	for _, jid := range b.batches[id] {
+		j := b.jobs[jid]
+		js := JobStatus{ID: jid, Workload: j.workload, State: StateRunning}
+		if !time.Now().Before(j.doneAt) {
+			js.State = StateDone
+			js.Source = SourceCompute
+			b.store.mu.Lock()
+			if _, ok := b.store.results[jid]; !ok {
+				b.store.results[jid] = &core.Result{Workload: j.workload, Cycles: 1000}
+			}
+			b.store.mu.Unlock()
+		} else {
+			bs.Done = false
+		}
+		bs.Jobs = append(bs.Jobs, js)
+	}
+	return bs
+}
+
+func (b *fakeBackend) handleBatch(w http.ResponseWriter, r *http.Request) {
+	rest := r.URL.Path[len("/v1/batches/"):]
+	if n := len(rest) - len("/watch"); n > 0 && rest[n:] == "/watch" {
+		id := rest[:n]
+		b.mu.Lock()
+		_, ok := b.batches[id]
+		b.mu.Unlock()
+		if !ok {
+			http.Error(w, `{"error":"no such batch"}`, 404)
+			return
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		fl := w.(http.Flusher)
+		enc := json.NewEncoder(w)
+		for {
+			bs := b.status(id)
+			if enc.Encode(bs) != nil {
+				return
+			}
+			fl.Flush()
+			if bs.Done {
+				return
+			}
+			select {
+			case <-r.Context().Done():
+				return
+			case <-time.After(10 * time.Millisecond):
+			}
+		}
+	}
+	b.mu.Lock()
+	_, ok := b.batches[rest]
+	b.mu.Unlock()
+	if !ok {
+		http.Error(w, `{"error":"no such batch"}`, 404)
+		return
+	}
+	json.NewEncoder(w).Encode(b.status(rest))
+}
+
+func (b *fakeBackend) handleJob(w http.ResponseWriter, r *http.Request) {
+	rest := r.URL.Path[len("/v1/jobs/"):]
+	if n := len(rest) - len("/result"); n > 0 && rest[n:] == "/result" {
+		id := rest[:n]
+		if b.resultDelay > 0 {
+			select {
+			case <-time.After(b.resultDelay):
+			case <-r.Context().Done():
+				return
+			}
+		}
+		b.store.mu.Lock()
+		res, ok := b.store.results[id]
+		b.store.mu.Unlock()
+		if !ok {
+			http.Error(w, `{"error":"no result"}`, 404)
+			return
+		}
+		json.NewEncoder(w).Encode(res)
+		return
+	}
+	http.Error(w, `{"error":"no such job"}`, 404)
+}
+
+func poolManifest(n int) Manifest {
+	var m Manifest
+	for i := 0; i < n; i++ {
+		m.Jobs = append(m.Jobs, JobRequest{
+			System:   json.RawMessage(fmt.Sprintf(`{"modules":%d}`, i+1)),
+			Workload: fmt.Sprintf("wl%d", i),
+		})
+	}
+	return m
+}
+
+func fastPool(urls ...string) *Pool {
+	p := NewPool(urls, &Client{Retries: 3, Backoff: 5 * time.Millisecond, WatchIdleTimeout: 2 * time.Second})
+	p.ProbeTimeout = 500 * time.Millisecond
+	p.ProbeInterval = 100 * time.Millisecond
+	return p
+}
+
+func checkRun(t *testing.T, res []*core.Result, sts []JobStatus, err error, n int) {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != n || len(sts) != n {
+		t.Fatalf("%d results / %d statuses, want %d", len(res), len(sts), n)
+	}
+	for i := range res {
+		if sts[i].State != StateDone || res[i] == nil {
+			t.Fatalf("job %d: state %q result %v, want done with result", i, sts[i].State, res[i])
+		}
+	}
+}
+
+// TestPoolSingleBackend: the degenerate pool is just a client.
+func TestPoolSingleBackend(t *testing.T) {
+	b := newFakeBackend(t, newFakeStore())
+	p := fastPool(b.ts.URL)
+	res, sts, err := p.Run(context.Background(), poolManifest(3))
+	checkRun(t, res, sts, err, 3)
+	if st := p.Stats(); st.Failovers != 0 || st.Resubmits != 0 {
+		t.Fatalf("healthy single-backend run reported faults: %+v", st)
+	}
+}
+
+// TestPoolFailoverOnBackendDeath: a backend that accepts a shard and dies
+// mid-batch loses its jobs to the survivor on the next round. The shared
+// store makes the resubmission idempotent.
+func TestPoolFailoverOnBackendDeath(t *testing.T) {
+	store := newFakeStore()
+	dying := newFakeBackend(t, store)
+	dying.dieAfterSubmit = true
+	dying.jobLatency = time.Hour // its jobs would never finish anyway
+	healthy := newFakeBackend(t, store)
+	p := fastPool(dying.ts.URL, healthy.ts.URL)
+	res, sts, err := p.Run(context.Background(), poolManifest(4))
+	checkRun(t, res, sts, err, 4)
+	st := p.Stats()
+	if st.Failovers == 0 {
+		t.Fatalf("killed backend produced no failover: %+v", st)
+	}
+	if st.Resubmits == 0 {
+		t.Fatalf("killed backend's jobs were not resubmitted: %+v", st)
+	}
+}
+
+// TestPoolSurvivesChaos drives a whole run through the chaos proxy with a
+// multi-fault plan — dropped submit, 5xx burst, truncated bodies, a 429 —
+// and requires both a clean completion and proof that every armed fault
+// actually fired.
+func TestPoolSurvivesChaos(t *testing.T) {
+	b := newFakeBackend(t, newFakeStore())
+	// Per-endpoint filters keep the windows deterministic no matter how
+	// many requests the run makes in total: the first watch connection
+	// drops, the first submit gets a 429, the first two result fetches
+	// 503, the fourth result fetch is truncated mid-body.
+	plans, err := faultinject.ParseList(
+		"net-429@0#1:/v1/batches,net-drop@0#1:/watch,net-5xx@0#2:/result,net-truncate@3#1:/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	proxy, err := chaosproxy.New(b.ts.URL, plans)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proxy.Logf = t.Logf
+	ts := httptest.NewServer(proxy)
+	defer ts.Close()
+	defer proxy.Close()
+
+	p := fastPool(ts.URL)
+	res, sts, err := p.Run(context.Background(), poolManifest(5))
+	checkRun(t, res, sts, err, 5)
+	st := proxy.Stats()
+	for _, kind := range []string{"net-drop", "net-5xx", "net-truncate", "net-429"} {
+		if st.Injected[kind] == 0 {
+			t.Errorf("fault %s armed but never injected (vacuous): %+v", kind, st)
+		}
+	}
+}
+
+// TestPoolHedgesSlowResults: a backend that stalls result fetches gets
+// hedged against its peer; the run finishes fast and Hedged counts it.
+func TestPoolHedgesSlowResults(t *testing.T) {
+	store := newFakeStore()
+	slow := newFakeBackend(t, store)
+	slow.resultDelay = 2 * time.Second
+	fast := newFakeBackend(t, store)
+	// Only the slow backend gets a shard: a single-job manifest keeps the
+	// sharding deterministic enough to force the hedge.
+	p := fastPool(slow.ts.URL, fast.ts.URL)
+	p.HedgeAfter = 50 * time.Millisecond
+
+	start := time.Now()
+	res, sts, err := p.Run(context.Background(), poolManifest(2))
+	checkRun(t, res, sts, err, 2)
+	if el := time.Since(start); el > 1500*time.Millisecond {
+		t.Fatalf("run took %v; hedging should have beaten the 2s result stall", el)
+	}
+	if st := p.Stats(); st.Hedged == 0 {
+		t.Fatalf("slow result fetch fired no hedge: %+v", st)
+	}
+}
+
+// TestPoolRoutesAroundBlackhole: one backend is fully black-holed (every
+// request hangs). Probes time out, its breaker accumulates failures, and
+// the run completes through the healthy peer without ever submitting to
+// the black hole.
+func TestPoolRoutesAroundBlackhole(t *testing.T) {
+	store := newFakeStore()
+	holed := newFakeBackend(t, store)
+	plans, err := faultinject.ParseList("net-blackhole@0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	proxy, err := chaosproxy.New(holed.ts.URL, plans)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(proxy)
+	defer ts.Close()
+	defer proxy.Close()
+	healthy := newFakeBackend(t, store)
+
+	p := fastPool(ts.URL, healthy.ts.URL)
+	p.ProbeTimeout = 100 * time.Millisecond
+	res, sts, err := p.Run(context.Background(), poolManifest(3))
+	checkRun(t, res, sts, err, 3)
+	if holed.submits.Load() != 0 {
+		t.Fatalf("black-holed backend received %d submits", holed.submits.Load())
+	}
+	if st := proxy.Stats(); st.Injected["net-blackhole"] == 0 {
+		t.Fatalf("blackhole armed but never exercised: %+v", st)
+	}
+}
+
+// TestWatchBatchResumesAfterCuts: the watch stream is truncated mid-NDJSON
+// twice; the client reconnects, reconciles, and still observes the batch
+// to completion. This is the resumable-stream contract under the exact
+// damage a dying connection produces.
+func TestWatchBatchResumesAfterCuts(t *testing.T) {
+	b := newFakeBackend(t, newFakeStore())
+	b.jobLatency = 300 * time.Millisecond
+	plans, err := faultinject.ParseList("net-truncate@0#2:/watch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	proxy, err := chaosproxy.New(b.ts.URL, plans)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proxy.Logf = t.Logf
+	ts := httptest.NewServer(proxy)
+	defer ts.Close()
+	defer proxy.Close()
+
+	c := &Client{BaseURL: ts.URL, Retries: 4, Backoff: 10 * time.Millisecond, Logf: t.Logf}
+	bs, err := c.Submit(context.Background(), poolManifest(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snapshots atomic.Int32
+	final, err := c.WatchBatch(context.Background(), bs.ID, func(*BatchStatus) { snapshots.Add(1) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !final.Done {
+		t.Fatalf("watch returned a non-done batch: %+v", final)
+	}
+	for _, js := range final.Jobs {
+		if js.State != StateDone {
+			t.Fatalf("job %s finished %q", js.ID, js.State)
+		}
+	}
+	if snapshots.Load() == 0 {
+		t.Fatal("watch delivered no snapshots")
+	}
+	if st := proxy.Stats(); st.Injected["net-truncate"] != 2 {
+		t.Fatalf("want 2 truncated watch streams, got %+v", st)
+	}
+}
+
+// TestWatchBatchTerminalStatesStick: after a reconnect lands on a server
+// whose view is behind, jobs the client already saw finish must not
+// regress to running.
+func TestWatchBatchTerminalStatesStick(t *testing.T) {
+	// A hand-rolled backend: first watch connection reports the job done
+	// then dies; the second reports it queued (a stale view) forever. The
+	// client must surface done from the first stream.
+	var conns atomic.Int32
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/batches/b1/watch", func(w http.ResponseWriter, r *http.Request) {
+		fl := w.(http.Flusher)
+		if conns.Add(1) == 1 {
+			fmt.Fprintln(w, `{"id":"b1","jobs":[{"id":"j1","state":"done"},{"id":"j2","state":"running"}],"done":false}`)
+			fl.Flush()
+			panic(http.ErrAbortHandler) // sever mid-stream
+		}
+		fmt.Fprintln(w, `{"id":"b1","jobs":[{"id":"j1","state":"queued"},{"id":"j2","state":"done"}],"done":false}`)
+		fl.Flush()
+		fmt.Fprintln(w, `{"id":"b1","jobs":[{"id":"j1","state":"queued"},{"id":"j2","state":"done"}],"done":true}`)
+		fl.Flush()
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	c := &Client{BaseURL: ts.URL, Retries: 3, Backoff: 5 * time.Millisecond, Logf: t.Logf}
+	final, err := c.WatchBatch(context.Background(), "b1", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !final.Done {
+		t.Fatalf("final snapshot not done: %+v", final)
+	}
+	for _, js := range final.Jobs {
+		if js.State != StateDone {
+			t.Fatalf("job %s regressed to %q after reconnect", js.ID, js.State)
+		}
+	}
+}

@@ -203,10 +203,17 @@ func Open(dir string, opts ...Option) (*Store, error) {
 	if err := s.checkVersion(); err != nil {
 		return nil, err
 	}
-	// Staging files are by definition incomplete: some writer died between
-	// CreateTemp and rename. They are garbage, not data.
+	// Staging files from a writer that died between CreateTemp and rename
+	// are garbage, not data — but with several server processes sharing one
+	// store, a *fresh* staging file may belong to a live writer in another
+	// process, and sweeping it would steal the rename source out from under
+	// a concurrent Put (or a concurrent first-open VERSION write). Only
+	// files old enough that no live writer can still own them are orphans.
 	if tmps, err := os.ReadDir(filepath.Join(dir, "tmp")); err == nil {
 		for _, e := range tmps {
+			if info, ierr := e.Info(); ierr == nil && time.Since(info.ModTime()) < stagingGrace {
+				continue
+			}
 			os.Remove(filepath.Join(dir, "tmp", e.Name()))
 		}
 	}
@@ -216,12 +223,30 @@ func Open(dir string, opts ...Option) (*Store, error) {
 	return s, nil
 }
 
+// stagingGrace is how old a tmp/ staging file must be before Open treats
+// it as a dead writer's orphan. A live writer holds a staging file for the
+// duration of one write + fsync + rename — seconds at the outside — so
+// anything past the grace is provably abandoned, and anything within it is
+// left alone in case a concurrently-open process owns it.
+const stagingGrace = 10 * time.Minute
+
 // checkVersion validates or initializes the VERSION file.
 func (s *Store) checkVersion() error {
 	path := filepath.Join(s.dir, "VERSION")
 	data, err := os.ReadFile(path)
 	if errors.Is(err, os.ErrNotExist) {
-		return s.writeAtomic(path, []byte(Version+"\n"), wNone)
+		if werr := s.writeAtomic(path, []byte(Version+"\n"), wNone); werr != nil {
+			// Several processes can race to initialize a fresh directory.
+			// If VERSION is in place and correct by the time our write
+			// fails, a concurrent opener won the race — the store is
+			// initialized, and by whom is irrelevant.
+			if data, rerr := os.ReadFile(path); rerr == nil &&
+				strings.TrimSpace(string(data)) == Version {
+				return nil
+			}
+			return werr
+		}
+		return nil
 	}
 	if err != nil {
 		return fmt.Errorf("runstore: %w", err)

@@ -7,6 +7,7 @@ import (
 	"reflect"
 	"strings"
 	"testing"
+	"time"
 
 	"mcmgpu/internal/core"
 	"mcmgpu/internal/faultinject"
@@ -315,7 +316,10 @@ func TestMetricsBlobCorruptionDropsWholeEntry(t *testing.T) {
 }
 
 // TestOrphanTmpFilesCleared: staging files from a crashed writer are
-// discarded on Open.
+// discarded on Open — but only once they are old enough that no live
+// writer in a concurrently-open process can still own them. A fresh
+// staging file must survive, or a restarting server sharing the store
+// would steal the rename source out from under a neighbor's in-flight Put.
 func TestOrphanTmpFilesCleared(t *testing.T) {
 	dir := t.TempDir()
 	mustOpen(t, dir)
@@ -323,8 +327,41 @@ func TestOrphanTmpFilesCleared(t *testing.T) {
 	if err := os.WriteFile(orphan, []byte("partial"), 0o644); err != nil {
 		t.Fatal(err)
 	}
+	fresh := filepath.Join(dir, "tmp", "put-live")
+	if err := os.WriteFile(fresh, []byte("in flight"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	old := time.Now().Add(-stagingGrace - time.Minute)
+	if err := os.Chtimes(orphan, old, old); err != nil {
+		t.Fatal(err)
+	}
 	mustOpen(t, dir)
 	if _, err := os.Stat(orphan); !os.IsNotExist(err) {
-		t.Fatal("orphan staging file survived Open")
+		t.Fatal("aged orphan staging file survived Open")
+	}
+	if _, err := os.Stat(fresh); err != nil {
+		t.Fatalf("fresh staging file swept by Open (would break a live concurrent writer): %v", err)
+	}
+}
+
+// TestConcurrentOpenFreshDir: several processes (modeled as goroutines —
+// the Store shares no in-process state across Opens) racing to initialize
+// one fresh directory must all succeed. This is the multi-backend
+// topology's first breath: N servers started together against one empty
+// shared store, every one of them durable, none degraded to memory-only.
+func TestConcurrentOpenFreshDir(t *testing.T) {
+	dir := t.TempDir()
+	const openers = 8
+	errs := make(chan error, openers)
+	for i := 0; i < openers; i++ {
+		go func() {
+			_, err := Open(dir)
+			errs <- err
+		}()
+	}
+	for i := 0; i < openers; i++ {
+		if err := <-errs; err != nil {
+			t.Fatalf("concurrent Open of a fresh dir failed: %v", err)
+		}
 	}
 }
