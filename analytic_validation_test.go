@@ -28,9 +28,9 @@ const valScale = 0.05
 // category, the same trio every golden experiment table reduces to.
 func valWorkloads() []*workload.Spec {
 	return []*workload.Spec{
-		workload.MIntensive()[0],  // NN-Conv
-		workload.CIntensive()[0],  // SP
-		workload.Limited()[0],     // DWT
+		workload.MIntensive()[0], // NN-Conv
+		workload.CIntensive()[0], // SP
+		workload.Limited()[0],    // DWT
 	}
 }
 
@@ -43,6 +43,26 @@ type valFamily struct {
 	// ranked enables the Spearman budget: families with a meaningful
 	// monotone knob (link bandwidth, cache size, system generation).
 	ranked bool
+	// specs/scale override the default valWorkloads()/valScale cells.
+	// The tension family needs both: its subject is the dense 2-D
+	// workloads, and their scheduler/placement tension is a full-size
+	// cache-capacity effect that valScale would dissolve.
+	specs []*workload.Spec
+	scale float64
+}
+
+func (f valFamily) workloads() []*workload.Spec {
+	if f.specs != nil {
+		return f.specs
+	}
+	return valWorkloads()
+}
+
+func (f valFamily) atScale() float64 {
+	if f.scale > 0 {
+		return f.scale
+	}
+	return valScale
 }
 
 func valFamilies() []valFamily {
@@ -77,6 +97,11 @@ func valFamilies() []valFamily {
 		config.MultiGPUBaseline(),
 		config.MultiGPUOptimized(),
 	}
+	tension := []*config.Config{
+		config.BaselineMCM(),
+		config.OptimizedMCM(),
+		tiledRegionMCM(),
+	}
 	return []valFamily{
 		{name: "link", configs: linkCfgs, ranked: true},
 		{name: "l15", configs: l15Cfgs, ranked: true},
@@ -90,6 +115,13 @@ func valFamilies() []valFamily {
 		{name: "gpm", configs: gpms},
 		{name: "mono", configs: monos, ranked: true},
 		{name: "multigpu", configs: multi},
+		// The scheduler/placement tension study: both dense 2-D workloads
+		// at full size across baseline, DS+FT, and Tiled2D+region-aware.
+		// Ranked: the estimator must order the policy tradeoff the way the
+		// engine does (tiled > baseline > DS+FT on GEMM), since the
+		// two-phase sweeps prune on exactly that ordering.
+		{name: "tension", configs: tension, ranked: true,
+			specs: workload.Dense(), scale: 1},
 	}
 }
 
@@ -118,10 +150,10 @@ type valCell struct {
 // cell. Engine runs go through the shared memo cache at golden scale.
 func runValidation(t *testing.T) []valCell {
 	t.Helper()
-	specs := valWorkloads()
-	opt := Options{Scale: valScale, Workers: 4, Audit: true}
 	var cells []valCell
 	for _, fam := range valFamilies() {
+		specs := fam.workloads()
+		opt := Options{Scale: fam.atScale(), Workers: 4, Audit: true}
 		for _, cfg := range fam.configs {
 			rs, err := opt.runSuite(cfg, specs)
 			if err != nil {
@@ -132,7 +164,7 @@ func runValidation(t *testing.T) []valCell {
 				t.Fatalf("%s/%s: estimator: %v", fam.name, cfg.Name, err)
 			}
 			for _, s := range specs {
-				est, err := e.Estimate(s, valScale)
+				est, err := e.Estimate(s, fam.atScale())
 				if err != nil {
 					t.Fatalf("%s/%s/%s: estimate: %v", fam.name, cfg.Name, s.Name, err)
 				}
@@ -248,7 +280,7 @@ func TestAnalyticValidation(t *testing.T) {
 			continue
 		}
 		var eng, est []float64
-		for _, w := range valWorkloads() {
+		for _, w := range fam.workloads() {
 			k := famKey{fam.name, w.Name}
 			if len(engIPC[k]) < 2 || engIPC[k][0] <= 0 || estIPC[k][0] <= 0 {
 				continue

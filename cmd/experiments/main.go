@@ -67,7 +67,7 @@ func main() { os.Exit(run()) }
 // stream) fails the run loudly.
 func run() (code int) {
 	var (
-		exp       = flag.String("exp", "headline", "experiment id (table1..4, analytic, fig2..fig17, headline, all)")
+		exp       = flag.String("exp", "headline", "experiment id (table1..4, analytic, fig2..fig17, headline, tension, all)")
 		scale     = flag.Float64("scale", 1.0, "workload scale factor")
 		max       = flag.Int("max", 0, "limit workloads per category (0 = all)")
 		jobs      = flag.Int("j", 0, "parallel simulation jobs (0 = GOMAXPROCS, 1 = sequential)")

@@ -6,6 +6,7 @@
 //
 //	mcmsim -system mcm-baseline -workload Stream
 //	mcmsim -system mcm-optimized -workload all -scale 0.5
+//	mcmsim -system mcm-tiled-region -workload GEMM2D-4K
 //	mcmsim -config machine.json -workload CoMD -json
 //	mcmsim -store /var/lib/mcmgpu -workload all   # reuse the durable run store
 //	mcmsim -dump-config mcm-optimized      # write a preset as JSON
@@ -41,6 +42,7 @@ var systems = map[string]func() *config.Config{
 	"mcm-baseline":       config.BaselineMCM,
 	"mcm-optimized":      config.OptimizedMCM,
 	"mcm-optimized-16mb": config.OptimizedMCM16,
+	"mcm-tiled-region":   config.TiledRegionMCM,
 	"mono-128":           config.LargestBuildableMonolithic,
 	"mono-256":           config.UnbuildableMonolithic,
 	"multi-gpu":          config.MultiGPUBaseline,
@@ -176,8 +178,8 @@ func run() (code int) {
 	// run and replayed on store hits; the CSV header is then written once up
 	// front, exactly as the parallel runner's flush phase does.
 	var (
-		rec       *metrics.Recorder
-		metricsW  io.WriteCloser
+		rec        *metrics.Recorder
+		metricsW   io.WriteCloser
 		metricsCSV bool
 	)
 	if *metricsF != "" {

@@ -15,7 +15,7 @@ import (
 func benchGrid() ([]*config.Config, []float64, []*workload.Spec) {
 	linkVals := []float64{384, 768, 1536, 3072}
 	l15Vals := []int{0, 8, 16}
-	cfgs := buildGrid(l15Vals, linkVals, true)
+	cfgs := buildGrid(l15Vals, linkVals, true, false)
 	costs := make([]float64, len(cfgs))
 	for i := range cfgs {
 		costs[i] = linkVals[i%len(linkVals)]

@@ -83,6 +83,7 @@ func run() (code int) {
 		wl        = flag.String("workloads", "all", "workload selection (all, m-intensive, c-intensive, limited)")
 		scale     = flag.Float64("scale", 1.0, "workload scale factor")
 		opts      = flag.Bool("optimized", true, "apply distributed scheduling + first touch at every grid point")
+		tiled     = flag.Bool("tiled", false, "apply tiled 2-D scheduling + region-aware placement at every grid point instead of -optimized (the dense-workload pairing; see -workloads dense)")
 		jobs      = flag.Int("j", 0, "parallel simulation jobs (0 = GOMAXPROCS, 1 = sequential)")
 		nocache   = flag.Bool("nocache", false, "disable the memoized run and estimate caches")
 		csvOut    = flag.String("csv", "", "write CSV to this file instead of stdout")
@@ -134,7 +135,7 @@ func run() (code int) {
 		return fail(fmt.Errorf("-refine %d must be >= 0", *refine))
 	}
 
-	cfgs := buildGrid(l15Vals, linkVals, *opts)
+	cfgs := buildGrid(l15Vals, linkVals, *opts, *tiled)
 	base := config.BaselineMCM()
 
 	fault, err := faultinject.FromEnv()
@@ -387,7 +388,7 @@ func runRemote(ctx context.Context, servers string, jobList []runner.Job, maxEve
 
 // buildGrid builds every grid-point configuration, row-major over
 // (l15, link), so cell index ci maps to row ci/len(links), col ci%len(links).
-func buildGrid(l15Vals []int, linkVals []float64, optimized bool) []*config.Config {
+func buildGrid(l15Vals []int, linkVals []float64, optimized, tiled bool) []*config.Config {
 	var cfgs []*config.Config
 	for _, mb := range l15Vals {
 		for _, link := range linkVals {
@@ -397,7 +398,11 @@ func buildGrid(l15Vals []int, linkVals []float64, optimized bool) []*config.Conf
 				cfg = config.WithL15(cfg, mb*config.MB, config.AllocRemoteOnly)
 				cfg.Link.GBps = keep
 			}
-			if optimized {
+			switch {
+			case tiled:
+				cfg.Scheduler = config.SchedTiled2D
+				cfg.Placement = config.PlaceRegionAware
+			case optimized:
 				cfg.Scheduler = config.SchedDistributed
 				cfg.Placement = config.PlaceFirstTouch
 			}
@@ -622,6 +627,8 @@ func selectWorkloads(sel string) ([]*workload.Spec, error) {
 		return workload.CIntensive(), nil
 	case "limited":
 		return workload.Limited(), nil
+	case "dense":
+		return workload.Dense(), nil
 	}
 	s, err := workload.ByName(sel)
 	if err != nil {

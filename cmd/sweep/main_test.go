@@ -66,7 +66,7 @@ func TestPhase2Budget(t *testing.T) {
 	}{
 		{12, 0, 0.25, 3},
 		{12, 0, 1, 12},
-		{12, 5, 0.25, 5},  // -refine overrides the fraction
+		{12, 5, 0.25, 5}, // -refine overrides the fraction
 		{12, 99, 0.25, 12} /* clamped to the grid */, {10, 0, 0.0, 0},
 		{7, 0, 0.25, 2}, // ceil
 	}
@@ -158,7 +158,7 @@ func TestTwoPhaseReproducesFrontier(t *testing.T) {
 	linkVals := []float64{384, 768, 1536, 3072}
 	l15Vals := []int{0, 8, 16}
 	specs := workload.Suite()
-	cfgs := buildGrid(l15Vals, linkVals, true)
+	cfgs := buildGrid(l15Vals, linkVals, true, false)
 	base := config.BaselineMCM()
 	costs := make([]float64, len(cfgs))
 	for i := range cfgs {

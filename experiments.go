@@ -749,6 +749,87 @@ func interGPMTable(o Options, title, note string, systems ...namedCfg) (*Table, 
 	return t, nil
 }
 
+// tiledRegionMCM is the optimized MCM re-paired for dense 2-D workloads: the
+// tiled 2-D CTA scheduler plus region-aware placement on the same transistor
+// budget as DS+FT (8 MB L2 halves + 8 MB remote-only L1.5).
+func tiledRegionMCM() *Config { return config.TiledRegionMCM() }
+
+// Tension is the extension study behind the dense workload families: the
+// paper's optimized design (distributed scheduling + first-touch, Figure 16)
+// wins on the 48-application suite but loses to the centralized/interleave
+// baseline on tiled GEMM and flash attention, whose 2-D panel reuse
+// first-touch placement breaks — the linear init sweep binds panel pages to
+// modules that match neither the panels' consumers nor the chunk owners,
+// while the skewed k-loop defeats the remote-only L1.5 and the halved L2
+// thrashes on the panel working set. Pairing the tiled 2-D scheduler with
+// region-aware placement restores the 2-D locality and recovers the loss
+// without giving back the suite win.
+//
+// Suite rows run at o.Scale like every other experiment. The dense rows
+// always run full size: the tension is a cache-capacity effect (panel
+// windows against the halved L2), and scaling the footprint down dissolves
+// exactly the effect under study. Dense runs are single-digit seconds.
+func Tension(o Options) (*Table, error) {
+	suite := o.suite()
+	systems := []namedCfg{
+		namedConfig("DS+FT (optimized)", config.OptimizedMCM()),
+		namedConfig("Tiled2D+region-aware", tiledRegionMCM()),
+	}
+	base, err := o.runSuite(config.BaselineMCM(), suite)
+	if err != nil {
+		return nil, err
+	}
+	results := make([]resultSet, len(systems))
+	for i, nc := range systems {
+		if results[i], err = o.runSuite(nc.cfg, suite); err != nil {
+			return nil, err
+		}
+	}
+
+	full := o
+	full.Scale = 1
+	dense := workload.Dense()
+	dBase, err := full.runSuite(config.BaselineMCM(), dense)
+	if err != nil {
+		return nil, err
+	}
+	dResults := make([]resultSet, len(systems))
+	for i, nc := range systems {
+		if dResults[i], err = full.runSuite(nc.cfg, dense); err != nil {
+			return nil, err
+		}
+	}
+
+	t := report.New("Extension: scheduler/placement tension on dense 2-D workloads",
+		"Workload", "Baseline MCM-GPU", "DS+FT (optimized)", "Tiled2D+region-aware")
+	for _, cat := range []workload.Category{MemoryIntensive, ComputeIntensive, LimitedParallelism} {
+		row := []interface{}{cat.String() + " geomean (suite)", 1.0}
+		for i := range systems {
+			row = append(row, report.Cell(geomeanSpeedup(base, results[i], byCategory(suite, cat))))
+		}
+		t.AddRowF(row...)
+	}
+	row := []interface{}{"Suite geomean (48 apps)", 1.0}
+	for i := range systems {
+		row = append(row, report.Cell(geomeanSpeedup(base, results[i], suite)))
+	}
+	t.AddRowF(row...)
+	for _, s := range dense {
+		row := []interface{}{s.Name + " (full size)", 1.0}
+		for i := range systems {
+			row = append(row, speedupCell(dBase, dResults[i], s.Name))
+		}
+		t.AddRowF(row...)
+		row = []interface{}{s.Name + " inter-GPM GB/s", gbpsCell(dBase, s.Name)}
+		for i := range systems {
+			row = append(row, gbpsCell(dResults[i], s.Name))
+		}
+		t.AddRowF(row...)
+	}
+	t.Note = "speedup over baseline MCM-GPU; suite rows at -scale, dense rows always full size"
+	return t, nil
+}
+
 // Experiments maps experiment IDs to their drivers, for the CLI and tests.
 // Static tables are wrapped lazily: building the map (e.g. to list IDs) does
 // no table construction; a driver builds its table only when invoked.
@@ -774,6 +855,7 @@ func Experiments() map[string]func(Options) (*Table, error) {
 		"fig16":    Fig16,
 		"fig17":    Fig17,
 		"headline": Headline,
+		"tension":  Tension,
 		"gpmscale": GPMScale,
 		"energy":   EnergyTable,
 	}

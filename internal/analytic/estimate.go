@@ -6,6 +6,7 @@ import (
 
 	"mcmgpu/internal/config"
 	"mcmgpu/internal/core"
+	"mcmgpu/internal/cta"
 	"mcmgpu/internal/noc"
 	"mcmgpu/internal/workload"
 )
@@ -165,6 +166,8 @@ const (
 	clShared
 	clScatter
 	clUniform
+	clRowPanel
+	clColPanel
 	nClasses
 )
 
@@ -205,7 +208,7 @@ func (e *Estimator) Estimate(spec *workload.Spec, scale float64) (*Estimate, err
 	}
 	waves := math.Ceil(float64(spec.CTAs) / float64(residentCTAs))
 
-	share := [nClasses]float64{p.Own, p.Neighbor, p.Shared, p.Scatter, p.Uniform}
+	share := [nClasses]float64{p.Own, p.Neighbor, p.Shared, p.Scatter, p.Uniform, p.RowPanel, p.ColPanel}
 
 	// ---- L1 hit model ---------------------------------------------------
 	// Own-region hits come from coverage: the CTA's warps walk one shared
@@ -247,6 +250,34 @@ func (e *Estimator) Estimate(spec *workload.Spec, scale float64) (*Estimate, err
 	h1[clShared] = hitWorkingSet(perSM*share[clShared], float64(p.SharedRegionLines), e.l1Lines*share[clShared])
 	h1[clScatter] = hitWorkingSet(perSM*share[clScatter], float64(p.ScatterRegionLines), e.l1Lines*share[clScatter])
 	h1[clUniform] = hitWorkingSet(perSM*share[clUniform], float64(p.FootprintLines), e.l1Lines*share[clUniform])
+	// Panel streams walk strictly increasing positions (seq = warp*ops + i),
+	// so within one kernel a CTA re-touches a panel line only if its walk
+	// wraps the panel: the distinct count is the access count capped at the
+	// candidate window the CTA's warps can reach.
+	cand := panelCandidate(spec, &p)
+	for _, pc := range [2]struct {
+		c     int
+		panel float64
+	}{{clRowPanel, float64(p.RowPanelLines)}, {clColPanel, float64(p.ColPanelLines)}} {
+		if pc.panel <= 0 || share[pc.c] == 0 {
+			continue
+		}
+		accCTA := loads * share[pc.c] / float64(spec.CTAs)
+		d := math.Min(accCTA, math.Min(cand, pc.panel))
+		// Lockstep walks (PatAttention) add a co-residency mechanism: SM
+		// co-residents are spaced activeSMs apart in CTA id, so when that
+		// spacing preserves the grid column they stream the SAME panel lines
+		// in the SAME phase — one CTA's fills serve its neighbors' probes,
+		// and the SM's whole probe stream shares one d-line window. GEMM's
+		// k-loop skew staggers the phases, so it keeps the per-CTA model.
+		n, cap1 := accCTA, e.l1Lines*share[pc.c]/ctasPerActiveSM
+		if spec.Pattern == workload.PatAttention && pc.c == clColPanel &&
+			spec.GridW > 0 && activeSMs%spec.GridW == 0 && ctasPerActiveSM > 1 {
+			n = accCTA * ctasPerActiveSM
+			cap1 = e.l1Lines * share[pc.c]
+		}
+		h1[pc.c] = hitWorkingSet2(n, d, cap1)
+	}
 
 	rho := p.ReuseProb
 	l1Hit := rho
@@ -264,6 +295,10 @@ func (e *Estimator) Estimate(spec *workload.Spec, scale float64) (*Estimate, err
 
 	// ---- Placement: local probability per class ------------------------
 	pLocal := e.localProb(spec, &p, residentCTAs)
+	// When the page map is statically determined — LinearInit pre-binding or
+	// the region-aware binder — replace the probabilistic locality laws with
+	// the exact per-class page-home census, mirroring core.setupPlacement.
+	homeQ := e.placementHomes(spec, &p, dOwnCTA, &pLocal)
 
 	var postL1, localPost float64
 	for c := 0; c < nClasses; c++ {
@@ -277,6 +312,7 @@ func (e *Estimator) Estimate(spec *workload.Spec, scale float64) (*Estimate, err
 
 	// ---- Distinct-line universes (for L1.5/L2 working sets) ------------
 	universe := e.classUniverses(spec, &p, loads)
+	mwEff, mhEff := e.panelSpan(spec)
 
 	// ---- L1.5 ----------------------------------------------------------
 	// The module-side cache sees each module's share of post-L1 load
@@ -301,13 +337,19 @@ func (e *Estimator) Estimate(spec *workload.Spec, scale float64) (*Estimate, err
 			}
 			// Universe of cacheable lines seen by one module: own and
 			// neighbor regions belong to the module's CTAs and split
-			// across modules; shared/scatter/uniform regions are global —
-			// every module's accesses sample the whole region. Under
-			// remote-only allocation the cacheable universe is cut to the
-			// remote share.
+			// across modules; panels split by how many module rows or
+			// columns the scheduler's partition cuts the grid into;
+			// shared/scatter/uniform regions are global — every module's
+			// accesses sample the whole region. Under remote-only
+			// allocation the cacheable universe is cut to the remote share.
 			u := universe[c]
-			if c == clOwn || c == clNeighbor {
+			switch c {
+			case clOwn, clNeighbor:
 				u /= G
+			case clRowPanel:
+				u /= float64(mhEff)
+			case clColPanel:
+				u /= float64(mwEff)
 			}
 			if cfg.L15Alloc == config.AllocRemoteOnly {
 				u *= 1 - pLocal[c]
@@ -408,13 +450,18 @@ func (e *Estimator) Estimate(spec *workload.Spec, scale float64) (*Estimate, err
 	}
 
 	// ---- Roofline terms -------------------------------------------------
+	// Page-bound placement can concentrate traffic on a few modules (the
+	// LinearInit sweep binds a GEMM panel's pages to one or two chunks);
+	// aggregate-bandwidth rooflines then overstate the machine, so the
+	// memory-side terms are derated by the hottest module's excess share.
+	hot := hotspotFactor(homeQ, &arr, cfg.Modules)
 	imb := e.scheduleImbalance(spec)
 	terms := [6]float64{
-		instrs / (float64(activeSMs) * cfg.IssuePerSM) * imb,                   // issue
-		config.LineBytes * postL1 * K / e.xbarGBps,                             // xbar
-		0,                                                                      // link
-		config.LineBytes * l2ArrRun / e.l2BankGBps,                             // l2bank
-		dramBytes / e.dramGBps,                                                 // dram
+		instrs / (float64(activeSMs) * cfg.IssuePerSM) * imb, // issue
+		config.LineBytes * postL1 * K / e.xbarGBps,           // xbar
+		0, // link
+		config.LineBytes * l2ArrRun / e.l2BankGBps * hot,                       // l2bank
+		dramBytes / e.dramGBps * hot,                                           // dram
 		e.latencyTerm(spec, &p, pLocal, share, missL1, l1Hit, h15, l2Hit, imb), // latency
 	}
 	if e.aggLinkGBps > 0 {
@@ -519,6 +566,226 @@ func (e *Estimator) localProb(spec *workload.Spec, p *workload.AccessProfile, re
 	return out
 }
 
+// placementHomes is the exact counterpart of localProb for statically
+// determined page maps. When the workload is LinearInit (pages pre-bound by
+// the init sweep) or the placement is region-aware (pages bound by the
+// binder), the page→module map the engine will build is known in advance;
+// this reconstructs it exactly as core.setupPlacement does, walks each
+// class's touched lines against its consumers' modules, and overwrites
+// pLocal with the resulting per-class locality. The return value is each
+// class's distribution of accesses over page-home modules (for the hotspot
+// derate); nil means the page map is race-determined and the probabilistic
+// laws stand.
+func (e *Estimator) placementHomes(spec *workload.Spec, p *workload.AccessProfile,
+	dOwnCTA float64, pLocal *[nClasses]float64) *[nClasses][]float64 {
+
+	cfg := e.cfg
+	G := cfg.Modules
+	if G <= 1 || cfg.Placement == config.PlaceInterleave {
+		return nil
+	}
+	if !spec.LinearInit && cfg.Placement != config.PlaceRegionAware {
+		return nil
+	}
+
+	w, h, rp, cp := spec.TileGrid()
+	grid := cta.Grid{CTAs: spec.CTAs, W: w, H: h, RowPanelLines: rp, ColPanelLines: cp}
+	layout, _ := cta.New(cfg, grid).(cta.Layout) // centralized → nil
+	lpp := uint64(cfg.LinesPerPage())
+	var binder func(page uint64) int
+	if cfg.Placement == config.PlaceRegionAware && layout != nil {
+		binder = func(page uint64) int { return spec.RegionHome(page*lpp, layout.Module) }
+	}
+	pages := (spec.FootprintLines + lpp - 1) / lpp
+	homes := make([]int, pages)
+	for pg := uint64(0); pg < pages; pg++ {
+		home := -1
+		if binder != nil {
+			home = binder(pg)
+		}
+		if home < 0 && spec.LinearInit {
+			initCTA := int(pg * uint64(spec.CTAs) / pages)
+			if layout != nil {
+				home = layout.Module(initCTA)
+			} else {
+				home = int(pg) % G
+			}
+		}
+		homes[pg] = home // -1: bound by a runtime race, uniform in expectation
+	}
+
+	uni := 1.0 / float64(G)
+	q := new([nClasses][]float64)
+	var pl, count [nClasses]float64
+	for c := range q {
+		q[c] = make([]float64, G)
+	}
+	// addRange accumulates the lines [lo, hi) into class c. cons is the
+	// distribution of the class's consumers over modules (nil = uniform).
+	addRange := func(c int, lo, hi uint64, cons []float64) {
+		if hi > spec.FootprintLines {
+			hi = spec.FootprintLines
+		}
+		for line := lo; line < hi; line++ {
+			home := homes[line/lpp]
+			if home < 0 {
+				for m := 0; m < G; m++ {
+					q[c][m] += uni
+				}
+				pl[c] += uni
+			} else {
+				q[c][home]++
+				if cons == nil {
+					pl[c] += uni
+				} else {
+					pl[c] += cons[home]
+				}
+			}
+			count[c]++
+		}
+	}
+
+	rowBase, colBase, ownBase, perCTA := spec.Regions()
+	rowWin, colWin := spec.PanelWindows()
+	cons := make([]float64, G)
+	if spec.GridW > 0 {
+		if spec.RowPanelLines > 0 {
+			span := rowWin
+			for y := 0; y < spec.GridH; y++ {
+				rowCons := consumerDist(cons, layout, spec.GridW, func(x int) int { return y*spec.GridW + x })
+				lo := rowBase + uint64(y)*spec.RowPanelLines
+				addRange(clRowPanel, lo, lo+span, rowCons)
+			}
+		}
+		if spec.ColPanelLines > 0 {
+			span := colWin
+			for x := 0; x < spec.GridW; x++ {
+				colCons := consumerDist(cons, layout, spec.GridH, func(y int) int { return y*spec.GridW + x })
+				lo := colBase + uint64(x)*spec.ColPanelLines
+				addRange(clColPanel, lo, lo+span, colCons)
+			}
+		}
+	}
+	dOwn := minU64(maxU64(1, uint64(math.Ceil(dOwnCTA))), perCTA)
+	for i := 0; i < spec.CTAs; i++ {
+		var ctaCons []float64
+		if layout != nil {
+			for m := range cons {
+				cons[m] = 0
+			}
+			if m := layout.Module(i); m >= 0 {
+				cons[m] = 1
+				ctaCons = cons
+			}
+		}
+		lo := ownBase + uint64(i)*perCTA
+		addRange(clOwn, lo, lo+dOwn, ctaCons)
+	}
+	addRange(clShared, 0, spec.SharedLines, nil)
+	addRange(clScatter, spec.SharedLines, spec.SharedLines+spec.ScatterLines, nil)
+	for pg := uint64(0); pg < pages; pg++ {
+		wt := float64(minU64(lpp, spec.FootprintLines-pg*lpp))
+		if home := homes[pg]; home < 0 {
+			for m := 0; m < G; m++ {
+				q[clUniform][m] += wt * uni
+			}
+		} else {
+			q[clUniform][home] += wt
+		}
+		pl[clUniform] += wt * uni
+		count[clUniform] += wt
+	}
+
+	for c := range q {
+		if count[c] == 0 {
+			q[c] = nil
+			continue
+		}
+		pl[c] = clamp01(pl[c] / count[c])
+		for m := range q[c] {
+			q[c][m] /= count[c]
+		}
+		pLocal[c] = pl[c]
+	}
+	// Halo accesses land at the edges of the own regions; their page homes
+	// track the own class closely enough to share its census.
+	if q[clOwn] != nil {
+		q[clNeighbor] = q[clOwn]
+		pLocal[clNeighbor] = pLocal[clOwn]
+	}
+	return q
+}
+
+// consumerDist fills buf with the module distribution of the n CTAs the
+// probe enumerates under the layout; a nil layout (centralized scheduling)
+// returns nil, meaning uniform.
+func consumerDist(buf []float64, layout cta.Layout, n int, probe func(i int) int) []float64 {
+	if layout == nil || n <= 0 {
+		return nil
+	}
+	for m := range buf {
+		buf[m] = 0
+	}
+	for i := 0; i < n; i++ {
+		if m := layout.Module(probe(i)); m >= 0 {
+			buf[m] += 1 / float64(n)
+		}
+	}
+	return buf
+}
+
+// hotspotFactor returns how much slower the machine's memory side runs than
+// its aggregate bandwidth suggests when page homes concentrate arrivals on
+// few modules: the hottest module's arrival share relative to a balanced
+// spread, >= 1. arr is the per-class L2 arrival traffic.
+func hotspotFactor(q *[nClasses][]float64, arr *[nClasses]float64, modules int) float64 {
+	if q == nil || modules <= 1 {
+		return 1
+	}
+	per := make([]float64, modules)
+	var total float64
+	for c := 0; c < nClasses; c++ {
+		t := arr[c]
+		if t == 0 {
+			continue
+		}
+		total += t
+		if qc := q[c]; qc != nil {
+			for m := range per {
+				per[m] += t * qc[m]
+			}
+		} else {
+			for m := range per {
+				per[m] += t / float64(modules)
+			}
+		}
+	}
+	if total == 0 {
+		return 1
+	}
+	maxShare := 0.0
+	for _, v := range per {
+		if v > maxShare {
+			maxShare = v
+		}
+	}
+	return math.Max(1, float64(modules)*maxShare/total)
+}
+
+func minU64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxU64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
 // l1OwnConflict returns the set-conflict factor (<= 1) on own-region L1
 // revisit hits. CTA regions are contiguous slabs of OwnRegionLines at
 // cta*region, and the L1 indexes sets by the low line-address bits, so the
@@ -575,6 +842,12 @@ func (e *Estimator) classUniverses(spec *workload.Spec, p *workload.AccessProfil
 	u[clShared] = float64(p.SharedRegionLines)
 	u[clScatter] = float64(p.ScatterRegionLines)
 	u[clUniform] = float64(p.FootprintLines)
+	// Panels: the CTAs along a row (column) stream a bounded candidate
+	// window of their panel (the whole panel when the GEMM k-loop skew
+	// staggers the walks), so the machine-wide universe is one window per
+	// panel, not the full panel allocation.
+	u[clRowPanel] = float64(p.GridH) * float64(p.RowPanelWindow)
+	u[clColPanel] = float64(p.GridW) * float64(p.ColPanelWindow)
 	for c := range u {
 		if u[c] < 1 {
 			u[c] = 1
@@ -617,12 +890,41 @@ func ownNewPerLine(spec *workload.Spec, p *workload.AccessProfile) float64 {
 
 // classDistinct returns the expected distinct lines among n accesses of
 // class c drawn from universe u: deterministic coverage for the structured
-// own-region walk, the uniform-sampling expectation for random classes.
+// own-region and panel walks, the uniform-sampling expectation for random
+// classes.
 func classDistinct(c int, n, u float64) float64 {
-	if c == clOwn {
+	if c == clOwn || c == clRowPanel || c == clColPanel {
 		return math.Min(n, u)
 	}
 	return expDistinct(n, u)
+}
+
+// panelCandidate returns the panel lines one CTA's warps can reach in one
+// kernel: the seq = warp*ops + i walk spans WarpsPerCTA*MemOpsPerWarp
+// positions plus the multi-line op spill.
+func panelCandidate(spec *workload.Spec, p *workload.AccessProfile) float64 {
+	return float64(spec.WarpsPerCTA*spec.MemOpsPerWarp) + float64(p.LinesPerOp-1)
+}
+
+// panelSpan returns how many module columns (mw) and rows (mh) the config's
+// scheduler splits a 2-D CTA grid into: the panel-universe divisor each
+// module sees. The centralized scheduler spreads every module over the whole
+// grid; distributed chunking slices grid rows; the tiled scheduler uses its
+// communication-minimizing factorization.
+func (e *Estimator) panelSpan(spec *workload.Spec) (mw, mh int) {
+	cfg := e.cfg
+	if cfg.Modules <= 1 || spec.GridW == 0 {
+		return 1, 1
+	}
+	switch cfg.Scheduler {
+	case config.SchedTiled2D:
+		w, h, rp, cp := spec.TileGrid()
+		return cta.TileFactor(cta.Grid{CTAs: spec.CTAs, W: w, H: h,
+			RowPanelLines: rp, ColPanelLines: cp}, cfg.Modules)
+	case config.SchedDistributed, config.SchedDynamic:
+		return 1, cfg.Modules
+	}
+	return 1, 1
 }
 
 // scheduleImbalance returns the compute-side slowdown factor of the
@@ -640,6 +942,10 @@ func (e *Estimator) scheduleImbalance(spec *workload.Spec) float64 {
 		chunks := cfg.Modules * maxInt(1, cfg.CTAChunksPerModule)
 		imb := spec.ChunkImbalance(chunks)
 		return 1 + (imb-1)*(1-dynStealRecovery)
+	case config.SchedTiled2D:
+		// Super-tiles are static contiguous partitions like distributed
+		// chunks; the index-gradient imbalance model carries over.
+		return spec.ChunkImbalance(cfg.Modules)
 	}
 	return 1
 }

@@ -84,8 +84,8 @@ func TestClampBudget(t *testing.T) {
 		events, want uint64
 	}{
 		{0, ClampAllowance},
-		{999_999, ClampAllowance + 99},     // just under a million: 99 from the fractional term
-		{1_000_000, ClampAllowance + 100},  // exactly one million
+		{999_999, ClampAllowance + 99},    // just under a million: 99 from the fractional term
+		{1_000_000, ClampAllowance + 100}, // exactly one million
 		{10_000_000, ClampAllowance + 1000},
 	}
 	for _, c := range cases {

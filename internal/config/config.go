@@ -54,6 +54,13 @@ const (
 	// leaves as future work (Section 5.4) to recover the load imbalance it
 	// observes for CTAs with unequal work.
 	SchedDynamic
+	// SchedTiled2D maps 2-D super-tiles of the CTA grid to modules: the
+	// grid is cut into a near-square mw x mh factorization of the module
+	// count, so a CTA keeps both its row neighbors and its column
+	// neighbors on the same GPM. On workloads whose reuse is 2-D (tiled
+	// GEMM, attention heads) this is what 1-D contiguous chunking cannot
+	// provide; on 1-D grids it degenerates to SchedDistributed.
+	SchedTiled2D
 )
 
 // String returns the scheduler name.
@@ -65,6 +72,8 @@ func (s SchedulerKind) String() string {
 		return "distributed"
 	case SchedDynamic:
 		return "dynamic"
+	case SchedTiled2D:
+		return "tiled2d"
 	}
 	return fmt.Sprintf("SchedulerKind(%d)", int(s))
 }
@@ -79,6 +88,13 @@ const (
 	// PlaceFirstTouch maps each page to a memory partition of the module
 	// whose SM first touches it (Section 5.3).
 	PlaceFirstTouch
+	// PlaceRegionAware binds a page to the module that the CTA layout says
+	// owns the page's region (panel or tile), falling back to first touch
+	// for pages outside any owned region. Where first touch binds a shared
+	// panel to whichever module raced to it first, region-aware placement
+	// derives a deterministic home from the scheduler's CTA-to-module map,
+	// so it requires a static layout (not the centralized scheduler).
+	PlaceRegionAware
 )
 
 // String returns the placement name.
@@ -88,6 +104,8 @@ func (p PlacementKind) String() string {
 		return "interleave"
 	case PlaceFirstTouch:
 		return "first-touch"
+	case PlaceRegionAware:
+		return "region-aware"
 	}
 	return fmt.Sprintf("PlacementKind(%d)", int(p))
 }
@@ -288,11 +306,16 @@ func (c *Config) Validate() error {
 	if c.Topology < TopoNone || c.Topology > TopoMesh {
 		return fmt.Errorf("config %q: unknown topology %v", c.Name, c.Topology)
 	}
-	if c.Scheduler < SchedCentralized || c.Scheduler > SchedDynamic {
+	if c.Scheduler < SchedCentralized || c.Scheduler > SchedTiled2D {
 		return fmt.Errorf("config %q: unknown scheduler %v", c.Name, c.Scheduler)
 	}
-	if c.Placement < PlaceInterleave || c.Placement > PlaceFirstTouch {
+	if c.Placement < PlaceInterleave || c.Placement > PlaceRegionAware {
 		return fmt.Errorf("config %q: unknown placement policy %v", c.Name, c.Placement)
+	}
+	// Region-aware placement derives page homes from the scheduler's static
+	// CTA-to-module layout; the centralized scheduler has none.
+	if c.Placement == PlaceRegionAware && c.Scheduler == SchedCentralized {
+		return fmt.Errorf("config %q: region-aware placement requires a static CTA layout (distributed, dynamic or tiled2d scheduler)", c.Name)
 	}
 	if c.L15Alloc < AllocAll || c.L15Alloc > AllocRemoteOnly {
 		return fmt.Errorf("config %q: unknown L1.5 allocation policy %v", c.Name, c.L15Alloc)
@@ -493,6 +516,19 @@ func OptimizedMCM16() *Config {
 	c.Scheduler = SchedDistributed
 	c.Placement = PlaceFirstTouch
 	c.Name = "mcm-optimized-16MB"
+	return c
+}
+
+// TiledRegionMCM returns the optimized MCM transistor budget (8 MB L2
+// halves + 8 MB remote-only L1.5) re-paired for dense 2-D workloads: the
+// tiled 2-D CTA scheduler with region-aware placement, the combination the
+// tension study shows recovering the GEMM/attention loss that distributed
+// scheduling + first touch suffers against the centralized baseline.
+func TiledRegionMCM() *Config {
+	c := OptimizedMCM()
+	c.Scheduler = SchedTiled2D
+	c.Placement = PlaceRegionAware
+	c.Name = "mcm-tiled-region"
 	return c
 }
 

@@ -15,9 +15,12 @@ var (
 	allocNames = map[AllocPolicy]string{AllocAll: "all", AllocRemoteOnly: "remote-only"}
 	schedNames = map[SchedulerKind]string{
 		SchedCentralized: "centralized", SchedDistributed: "distributed", SchedDynamic: "dynamic",
+		SchedTiled2D: "tiled2d",
 	}
-	placeNames = map[PlacementKind]string{PlaceInterleave: "interleave", PlaceFirstTouch: "first-touch"}
-	topoNames  = map[TopologyKind]string{
+	placeNames = map[PlacementKind]string{
+		PlaceInterleave: "interleave", PlaceFirstTouch: "first-touch", PlaceRegionAware: "region-aware",
+	}
+	topoNames = map[TopologyKind]string{
 		TopoNone: "none", TopoRing: "ring", TopoCrossbar: "crossbar", TopoMesh: "mesh",
 	}
 )

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"mcmgpu/internal/audit"
+	"mcmgpu/internal/config"
 	"mcmgpu/internal/cta"
 	"mcmgpu/internal/engine"
 	"mcmgpu/internal/sm"
@@ -84,6 +85,7 @@ func (m *Machine) RunWith(spec *workload.Spec, opts RunOptions) (*Result, error)
 	}
 	m.spec = spec
 	m.opts = opts
+	m.setupPlacement()
 	if opts.bounded() {
 		m.sim.SetCheck(opts.checkEvery(), m.checkBudgets)
 	}
@@ -129,10 +131,63 @@ func (m *Machine) RunWith(spec *workload.Spec, opts RunOptions) (*Result, error)
 	return m.collect(), nil
 }
 
+// grid returns the kernel's CTA grid shape for the scheduler.
+func (m *Machine) grid() cta.Grid {
+	w, h, rp, cp := m.spec.TileGrid()
+	return cta.Grid{CTAs: m.spec.CTAs, W: w, H: h, RowPanelLines: rp, ColPanelLines: cp}
+}
+
+// setupPlacement installs the region-aware page binder and, for LinearInit
+// workloads, pre-binds the pages the init sweep first-touched before the
+// first compute kernel.
+func (m *Machine) setupPlacement() {
+	if m.cfg.Placement == config.PlaceInterleave {
+		return
+	}
+	// A throwaway scheduler instance supplies the static CTA-to-module
+	// layout; the centralized scheduler has none (layout stays nil).
+	layout, _ := cta.New(m.cfg, m.grid()).(cta.Layout)
+	var binder func(page uint64) int
+	if m.cfg.Placement == config.PlaceRegionAware && layout != nil {
+		lpp := m.amap.LinesPerPage()
+		spec := m.spec
+		binder = func(page uint64) int { return spec.RegionHome(page*lpp, layout.Module) }
+		m.amap.SetBinder(binder)
+	}
+	if !m.spec.LinearInit {
+		return
+	}
+	// The init sweep wrote the footprint linearly before the first compute
+	// kernel: its CTA j first-touched the j-th contiguous slice, and page
+	// mappings persist. Pre-bind each page accordingly — the region-aware
+	// binder overrides the sweep where it knows the owning region; pages
+	// outside any region go to the module the sweep's layout ran the
+	// covering CTA on. A centralized init race has no static layout, so
+	// those pages spread round-robin.
+	lpp := m.amap.LinesPerPage()
+	pages := (m.spec.FootprintLines + lpp - 1) / lpp
+	for page := uint64(0); page < pages; page++ {
+		home := -1
+		if binder != nil {
+			home = binder(page)
+		}
+		if home < 0 {
+			initCTA := int(page * uint64(m.spec.CTAs) / pages)
+			if layout != nil {
+				home = layout.Module(initCTA)
+			}
+			if home < 0 {
+				home = int(page) % m.cfg.Modules
+			}
+		}
+		m.amap.Prebind(page, home)
+	}
+}
+
 // runKernel launches all CTAs of one kernel and drains the event queue. It
 // returns the budget error that stopped the drain, if any.
 func (m *Machine) runKernel() error {
-	m.sched = cta.New(m.cfg, m.spec.CTAs)
+	m.sched = cta.New(m.cfg, m.grid())
 	// Initial fill: pass over SMs (which alternate across modules) until
 	// no SM can accept another CTA. With the centralized scheduler this
 	// spreads consecutive CTAs across GPMs (Figure 8a); the distributed

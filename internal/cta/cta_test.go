@@ -132,11 +132,11 @@ func TestModuleLookup(t *testing.T) {
 
 func TestNewFromConfig(t *testing.T) {
 	c := config.BaselineMCM()
-	if _, ok := New(c, 100).(*Centralized); !ok {
+	if _, ok := New(c, Grid1D(100)).(*Centralized); !ok {
 		t.Fatalf("baseline config did not produce a centralized scheduler")
 	}
 	c.Scheduler = config.SchedDistributed
-	if _, ok := New(c, 100).(*Distributed); !ok {
+	if _, ok := New(c, Grid1D(100)).(*Distributed); !ok {
 		t.Fatalf("distributed config did not produce a distributed scheduler")
 	}
 }
@@ -265,7 +265,7 @@ func TestDynamicIssuesEveryCTAOnce(t *testing.T) {
 func TestNewDynamicFromConfig(t *testing.T) {
 	c := config.BaselineMCM()
 	c.Scheduler = config.SchedDynamic
-	if _, ok := New(c, 100).(*Dynamic); !ok {
+	if _, ok := New(c, Grid1D(100)).(*Dynamic); !ok {
 		t.Fatalf("dynamic config did not produce a dynamic scheduler")
 	}
 }

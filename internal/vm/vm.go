@@ -1,13 +1,18 @@
 // Package vm implements the simulator's virtual-memory layer: the mapping
-// from virtual line addresses to memory partitions under the two page
-// placement policies the paper studies.
+// from virtual line addresses to memory partitions under the page placement
+// policies the paper and its follow-on work study.
 //
 // The baseline policy interleaves addresses across all physical DRAM
 // partitions at cache-line granularity (Section 3.2). The first-touch policy
 // (Section 5.3) maps each page to a memory partition local to the module
 // whose SM touches it first; within that module, lines of the page are
 // interleaved across the module's partitions so channel-level parallelism is
-// preserved, mirroring the paper's per-partition channel interleaving.
+// preserved, mirroring the paper's per-partition channel interleaving. The
+// region-aware policy consults a workload-provided binder first: a page that
+// belongs to a known region (a GEMM panel, a CTA's own tile) is bound to the
+// module the CTA layout says owns that region, and only pages outside any
+// region fall back to first touch. Pages may also be pre-bound before the
+// first kernel, modeling placement decided by an earlier init sweep.
 package vm
 
 import (
@@ -27,9 +32,12 @@ type AddressMap struct {
 	pageShift       uint
 	partitions      int
 	partsPerModule  int
-	pages           map[uint64]int // page number -> owning module (first touch)
+	pages           map[uint64]int // page number -> owning module
 	pagesPerModule  []int
 	firstTouchFills uint64
+	regionBinds     uint64
+	prebinds        uint64
+	binder          func(page uint64) int // region-aware page homes; nil = first touch only
 }
 
 // NewAddressMap builds an address map for the machine described by cfg.
@@ -44,7 +52,7 @@ func NewAddressMap(cfg *config.Config) *AddressMap {
 		partsPerModule: cfg.PartitionsPerModule,
 		pagesPerModule: make([]int, cfg.Modules),
 	}
-	if cfg.Placement == config.PlaceFirstTouch {
+	if cfg.Placement != config.PlaceInterleave {
 		m.pages = make(map[uint64]int)
 	}
 	return m
@@ -53,21 +61,59 @@ func NewAddressMap(cfg *config.Config) *AddressMap {
 // Policy returns the placement policy in force.
 func (m *AddressMap) Policy() config.PlacementKind { return m.policy }
 
+// LinesPerPage returns how many cache lines one page holds.
+func (m *AddressMap) LinesPerPage() uint64 { return m.linesPerPage }
+
+// SetBinder installs the region-aware page binder: a function returning the
+// module a page should be homed on, or -1 for pages that should fall back
+// to first touch. It is consulted the first time an unmapped page is
+// touched. Only meaningful under PlaceRegionAware.
+func (m *AddressMap) SetBinder(binder func(page uint64) int) { m.binder = binder }
+
+// Prebind binds a page to a module before simulation, modeling placement
+// already decided by an earlier phase (an init kernel's first-touch sweep).
+// Pages already mapped are left untouched.
+func (m *AddressMap) Prebind(page uint64, module int) {
+	if m.pages == nil {
+		return // interleave placement ignores page bindings
+	}
+	if _, ok := m.pages[page]; ok {
+		return
+	}
+	m.pages[page] = module
+	m.pagesPerModule[module]++
+	m.prebinds++
+}
+
+// bind maps an unmapped page, choosing the region-aware home when the
+// binder provides one and falling back to first touch by the given module.
+func (m *AddressMap) bind(page uint64, module int) int {
+	if m.policy == config.PlaceRegionAware && m.binder != nil {
+		if home := m.binder(page); home >= 0 {
+			m.pages[page] = home
+			m.pagesPerModule[home]++
+			m.regionBinds++
+			return home
+		}
+	}
+	m.pages[page] = module
+	m.pagesPerModule[module]++
+	m.firstTouchFills++
+	return module
+}
+
 // Partition returns the memory partition holding the given virtual line
-// address. module is the module issuing the access; under first-touch
-// placement an unmapped page is bound to that module's local partitions.
+// address. module is the module issuing the access; under first-touch and
+// region-aware placement an unmapped page is bound on the spot.
 func (m *AddressMap) Partition(lineAddr uint64, module int) int {
 	switch m.policy {
 	case config.PlaceInterleave:
 		return int(lineAddr % uint64(m.partitions))
-	case config.PlaceFirstTouch:
+	case config.PlaceFirstTouch, config.PlaceRegionAware:
 		page := lineAddr >> m.pageShift
 		owner, ok := m.pages[page]
 		if !ok {
-			owner = module
-			m.pages[page] = owner
-			m.pagesPerModule[owner]++
-			m.firstTouchFills++
+			owner = m.bind(page, module)
 		}
 		// Interleave the page's lines across the owner's partitions to keep
 		// channel-level parallelism within the local memory system.
@@ -80,15 +126,15 @@ func (m *AddressMap) Partition(lineAddr uint64, module int) int {
 // CacheAddr compacts a virtual line address into the address space a
 // memory-side L2 slice should index with. Lines reaching one partition share
 // their partition-selection bits (the low bits under interleave, the
-// intra-module interleave bits under first touch); indexing a slice with the
-// raw address would alias those bits into the set index and leave most sets
-// unused. The compaction divides those bits out and is injective within a
-// partition, so tags remain unambiguous.
+// intra-module interleave bits under page-bound placement); indexing a slice
+// with the raw address would alias those bits into the set index and leave
+// most sets unused. The compaction divides those bits out and is injective
+// within a partition, so tags remain unambiguous.
 func (m *AddressMap) CacheAddr(lineAddr uint64) uint64 {
 	switch m.policy {
 	case config.PlaceInterleave:
 		return lineAddr / uint64(m.partitions)
-	case config.PlaceFirstTouch:
+	case config.PlaceFirstTouch, config.PlaceRegionAware:
 		return lineAddr / uint64(m.partsPerModule)
 	}
 	panic(fmt.Sprintf("vm: unknown placement policy %v", m.policy))
@@ -98,36 +144,47 @@ func (m *AddressMap) CacheAddr(lineAddr uint64) uint64 {
 // whether the page has been mapped. Under interleave placement pages have no
 // owner and ok is always false.
 func (m *AddressMap) PageOwner(lineAddr uint64) (module int, ok bool) {
-	if m.policy != config.PlaceFirstTouch {
+	if m.pages == nil {
 		return 0, false
 	}
 	owner, ok := m.pages[lineAddr>>m.pageShift]
 	return owner, ok
 }
 
-// MappedPages returns the number of pages bound by first touch.
+// MappedPages returns the number of pages bound so far.
 func (m *AddressMap) MappedPages() int { return len(m.pages) }
 
-// PagesPerModule returns, per module, how many pages first touch bound to
-// it. The slice is live; callers must not modify it.
+// PagesPerModule returns, per module, how many pages are bound to it. The
+// slice is live; callers must not modify it.
 func (m *AddressMap) PagesPerModule() []int { return m.pagesPerModule }
 
-// FirstTouchFills returns how many pages were bound by first touch. It
-// equals MappedPages unless a mapping was double-filled or lost.
+// FirstTouchFills returns how many pages were bound by raw first touch
+// (excluding region binds and prebinds).
 func (m *AddressMap) FirstTouchFills() uint64 { return m.firstTouchFills }
 
-// Audit checks page-table consistency into r. Under first touch: every page
-// fill bound exactly one page (fills == mapped pages), the per-module counts
-// partition the page table (their sum == mapped pages), and every owner is a
-// real module. Under interleave nothing may have been bound at all — a
-// non-zero fill count there means the placement policy was misrouted.
+// RegionBinds returns how many pages the region-aware binder homed.
+func (m *AddressMap) RegionBinds() uint64 { return m.regionBinds }
+
+// Prebinds returns how many pages were bound before simulation.
+func (m *AddressMap) Prebinds() uint64 { return m.prebinds }
+
+// Audit checks page-table consistency into r. Under page-bound placement:
+// every binding event bound exactly one page (fills + region binds +
+// prebinds == mapped pages), the per-module counts partition the page table
+// (their sum == mapped pages), and every owner is a real module. Under
+// interleave nothing may have been bound at all — a non-zero count there
+// means the placement policy was misrouted.
 func (m *AddressMap) Audit(r *audit.Reporter) {
 	mapped := uint64(len(m.pages))
-	if m.policy != config.PlaceFirstTouch {
-		audit.Equal(r, "vm-pages", "vm", "first-touch fills under interleave placement", m.firstTouchFills, uint64(0))
+	binds := m.firstTouchFills + m.regionBinds + m.prebinds
+	if m.policy == config.PlaceInterleave {
+		audit.Equal(r, "vm-pages", "vm", "page binds under interleave placement", binds, uint64(0))
 		return
 	}
-	audit.Equal(r, "vm-pages", "vm", "first-touch fills", m.firstTouchFills, mapped)
+	audit.Equal(r, "vm-pages", "vm", "page binds", binds, mapped)
+	if m.policy == config.PlaceFirstTouch {
+		audit.Equal(r, "vm-pages", "vm", "region binds under first-touch placement", m.regionBinds, uint64(0))
+	}
 	var sum uint64
 	for mod, n := range m.pagesPerModule {
 		if n < 0 {
@@ -157,4 +214,6 @@ func (m *AddressMap) Reset() {
 		}
 	}
 	m.firstTouchFills = 0
+	m.regionBinds = 0
+	m.prebinds = 0
 }

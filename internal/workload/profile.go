@@ -17,12 +17,13 @@ type AccessProfile struct {
 	MeanOpsPerWarp float64
 
 	// Class shares of line accesses, summing to 1: the CTA's own region,
-	// the neighbor halo, the shared hot region, the scatter region, and
-	// uniform accesses over the whole footprint. Lane divergence
-	// (PatIrregular with LinesPerOp > 1) is folded in: diverged lanes
-	// scatter, so their lines count toward Scatter/Uniform rather than the
-	// base line's class.
+	// the neighbor halo, the shared hot region, the scatter region,
+	// uniform accesses over the whole footprint, and the row/column panel
+	// streams of 2-D grid workloads. Lane divergence (PatIrregular with
+	// LinesPerOp > 1) is folded in: diverged lanes scatter, so their lines
+	// count toward Scatter/Uniform rather than the base line's class.
 	Own, Neighbor, Shared, Scatter, Uniform float64
+	RowPanel, ColPanel                      float64
 
 	// Region geometry, in lines.
 	OwnRegionLines      uint64 // one CTA's partition of the footprint
@@ -30,6 +31,13 @@ type AccessProfile struct {
 	SharedRegionLines   uint64
 	ScatterRegionLines  uint64
 	FootprintLines      uint64
+	RowPanelLines       uint64 // one grid row's shared panel
+	ColPanelLines       uint64 // one grid column's shared panel
+	RowPanelWindow      uint64 // panel lines a kernel's CTAs can reach (see Spec.PanelWindows)
+	ColPanelWindow      uint64
+
+	// 2-D grid shape (zero for 1-D workloads).
+	GridW, GridH int
 
 	// Own-region walk structure: the effective stride between consecutive
 	// ops (1 for sequential patterns) and, for PatComputeTile, the tile the
@@ -57,15 +65,15 @@ func (s *Spec) Profile() AccessProfile {
 	p.MeanOpsPerWarp = p.MemOpsPerKernel / float64(s.TotalWarps())
 
 	// Region geometry mirrors Stream.Init.
-	reserved := s.SharedLines + s.ScatterLines
-	perCTA := (s.FootprintLines - reserved) / uint64(s.CTAs)
-	if perCTA == 0 {
-		perCTA = 1
-	}
+	_, _, _, perCTA := s.regionGeometry()
 	p.OwnRegionLines = perCTA
 	p.NeighborWindowLines = maxU64(1, perCTA/8)
 	p.SharedRegionLines = s.SharedLines
 	p.ScatterRegionLines = s.ScatterLines
+	p.RowPanelLines = s.RowPanelLines
+	p.ColPanelLines = s.ColPanelLines
+	p.RowPanelWindow, p.ColPanelWindow = s.PanelWindows()
+	p.GridW, p.GridH = s.GridW, s.GridH
 
 	// Base-line class mix mirrors genBase's roll order. A SharedFraction
 	// with no shared region falls through to the neighbor branch, exactly
@@ -75,7 +83,8 @@ func (s *Spec) Profile() AccessProfile {
 		nb += sh
 		sh = 0
 	}
-	own := 1 - sh - nb - rnd
+	rp, cp := s.RowPanelFraction, s.ColPanelFraction
+	own := 1 - sh - nb - rnd - rp - cp
 	if own < 0 {
 		own = 0
 	}
@@ -92,7 +101,7 @@ func (s *Spec) Profile() AccessProfile {
 	if s.Pattern == PatIrregular && s.LinesPerOp > 1 {
 		w := 1 / float64(s.LinesPerOp)
 		div := 1 - w
-		sh, nb, own, sc, uni = sh*w, nb*w, own*w, sc*w, uni*w
+		sh, nb, own, sc, uni, rp, cp = sh*w, nb*w, own*w, sc*w, uni*w, rp*w, cp*w
 		if s.ScatterLines > 0 {
 			sc += div
 		} else {
@@ -100,6 +109,7 @@ func (s *Spec) Profile() AccessProfile {
 		}
 	}
 	p.Shared, p.Neighbor, p.Own, p.Scatter, p.Uniform = sh, nb, own, sc, uni
+	p.RowPanel, p.ColPanel = rp, cp
 
 	// Own-region walk structure.
 	p.StrideLines = 1

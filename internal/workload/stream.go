@@ -50,6 +50,11 @@ type Stream struct {
 
 	regionStart uint64
 	regionLen   uint64
+	ownBase     uint64 // first own-region line; everything below is reserved
+	rowPanel    uint64 // base of this CTA's row panel (2-D grids)
+	colPanel    uint64 // base of this CTA's column panel
+	rowPhase    uint64 // k-loop skew within the row panel (PatGEMM2D)
+	colPhase    uint64 // k-loop skew within the column panel
 
 	recent  [8]uint64
 	nRecent int
@@ -69,13 +74,27 @@ func (s *Stream) Init(spec *Spec, cta, warp int) {
 	*s = Stream{spec: spec, cta: cta, warp: warp, ops: spec.OpsForCTA(cta)}
 	// Seed mixes the identifiers so distinct warps get decorrelated streams.
 	s.r = rng{s: spec.Seed ^ uint64(cta)*0x9e3779b97f4a7c15 ^ uint64(warp)*0xc2b2ae3d27d4eb4f}
-	reserved := spec.SharedLines + spec.ScatterLines
-	perCTA := (spec.FootprintLines - reserved) / uint64(spec.CTAs)
-	if perCTA == 0 {
-		perCTA = 1
-	}
-	s.regionStart = reserved + uint64(cta)*perCTA
+	rowBase, colBase, ownBase, perCTA := spec.regionGeometry()
+	s.ownBase = ownBase
+	s.regionStart = ownBase + uint64(cta)*perCTA
 	s.regionLen = perCTA
+	if spec.GridW > 0 {
+		x, y := cta%spec.GridW, cta/spec.GridW
+		s.rowPanel = rowBase + uint64(y)*spec.RowPanelLines
+		s.colPanel = colBase + uint64(x)*spec.ColPanelLines
+		// Tiled GEMM skews the k-loop so the CTAs along a panel start at
+		// staggered offsets (the classic wavefront that avoids hammering one
+		// operand block); attention streams K/V in order for every query
+		// block, so it keeps the lockstep phase.
+		if spec.Pattern == PatGEMM2D {
+			if spec.GridW > 1 && spec.RowPanelLines > 0 {
+				s.rowPhase = uint64(x) * maxU64(1, spec.RowPanelLines/uint64(spec.GridW))
+			}
+			if spec.GridH > 1 && spec.ColPanelLines > 0 {
+				s.colPhase = uint64(y) * maxU64(1, spec.ColPanelLines/uint64(spec.GridH))
+			}
+		}
+	}
 }
 
 // Next fills op with the warp's next operation and reports whether one
@@ -134,21 +153,39 @@ func (s *Stream) genBase(i int) uint64 {
 	}
 	roll -= sp.SharedFraction
 
-	// Halo accesses into the neighboring CTA's region.
+	// Halo accesses into the neighboring CTA's region. The backward clamp
+	// checks against the full reserved prefix (shared + scatter + panels):
+	// clamping only at SharedLines would let CTA 0's "neighbor" traffic
+	// leak into the scatter or panel regions.
 	if roll < sp.NeighborFraction {
 		dir := uint64(1)
 		if s.r.next()&1 == 0 && s.cta > 0 {
 			dir = ^uint64(0) // -1
 		}
 		nStart := s.regionStart + dir*s.regionLen
-		if nStart >= sp.FootprintLines || nStart < sp.SharedLines {
+		if nStart >= sp.FootprintLines || nStart < s.ownBase {
 			nStart = s.regionStart
 		}
 		// Halo touches the edge of the neighbor's region.
 		edge := s.r.intn(maxU64(1, s.regionLen/8))
-		return nStart + edge%s.regionLen
+		return nStart + edge
 	}
 	roll -= sp.NeighborFraction
+
+	// Panel streams: the A panel this grid row shares, then the B (or K/V)
+	// panel this grid column shares. The walk position depends only on
+	// (warp, op), so every CTA along the panel streams it in the same
+	// phase — the lockstep k-loop of a tiled GEMM.
+	if roll < sp.RowPanelFraction && sp.RowPanelLines > 0 {
+		seq := s.rowPhase + uint64(s.warp)*uint64(sp.MemOpsPerWarp) + uint64(i)
+		return s.rowPanel + seq%sp.RowPanelLines
+	}
+	roll -= sp.RowPanelFraction
+	if roll < sp.ColPanelFraction && sp.ColPanelLines > 0 {
+		seq := s.colPhase + uint64(s.warp)*uint64(sp.MemOpsPerWarp) + uint64(i)
+		return s.colPanel + seq%sp.ColPanelLines
+	}
+	roll -= sp.ColPanelFraction
 
 	// Scattered accesses: confined to the scatter region when one exists,
 	// uniform over the whole footprint otherwise.

@@ -236,26 +236,33 @@ func HighParallelism() []*Spec {
 	return append(MIntensive(), CIntensive()...)
 }
 
-// ByName returns the named application, or an error naming the near misses.
+// ByName returns the named application — searching the 48-app suite and the
+// dense extension family — or an error naming the alternatives.
 func ByName(name string) (*Spec, error) {
 	for i := range suite {
 		if suite[i].Name == name {
 			return &suite[i], nil
 		}
 	}
-	names := make([]string, len(suite))
-	for i := range suite {
-		names[i] = suite[i].Name
+	for i := range dense {
+		if dense[i].Name == name {
+			return &dense[i], nil
+		}
 	}
+	names := Names()
 	sort.Strings(names)
 	return nil, fmt.Errorf("workload: unknown application %q (have %v)", name, names)
 }
 
-// Names returns all application names in suite order.
+// Names returns all application names: the 48-app suite in order, then the
+// dense extension family.
 func Names() []string {
-	out := make([]string, len(suite))
+	out := make([]string, 0, len(suite)+len(dense))
 	for i := range suite {
-		out[i] = suite[i].Name
+		out = append(out, suite[i].Name)
+	}
+	for i := range dense {
+		out = append(out, dense[i].Name)
 	}
 	return out
 }

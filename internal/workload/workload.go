@@ -72,6 +72,16 @@ const (
 	// PatComputeTile re-walks a small per-CTA tile with heavy compute
 	// between accesses (GEMM-like compute-intensive kernels).
 	PatComputeTile
+	// PatGEMM2D is a tiled dense GEMM: CTA (i, j) computes one output tile
+	// of C, streaming the A panel its grid row shares and the B panel its
+	// grid column shares. Reuse neighbors are both (i±1, j) and (i, j±1),
+	// the 2-D structure that 1-D contiguous CTA chunking cannot keep on
+	// one GPM.
+	PatGEMM2D
+	// PatAttention is a flash-style attention kernel: CTA (head, block)
+	// streams its head's K/V panel against a per-CTA query block, with
+	// heads (grid columns) as the natural placement grain.
+	PatAttention
 )
 
 // String returns the pattern name.
@@ -89,6 +99,10 @@ func (p Pattern) String() string {
 		return "hot-region"
 	case PatComputeTile:
 		return "compute-tile"
+	case PatGEMM2D:
+		return "gemm-2d"
+	case PatAttention:
+		return "attention"
 	}
 	return fmt.Sprintf("Pattern(%d)", int(p))
 }
@@ -127,6 +141,32 @@ type Spec struct {
 	ReuseProb    float64 // chance of re-touching a recently used line
 	Stride       uint64  // line stride for PatStrided (0 = 1)
 
+	// 2-D grid structure (PatGEMM2D, PatAttention): CTA i computes output
+	// tile (x, y) = (i%GridW, i/GridW). Both zero for 1-D workloads;
+	// when set, GridW*GridH must equal CTAs.
+	GridW, GridH int
+	// Panel geometry: every grid row y shares a RowPanelLines panel (the
+	// GEMM A panel) and every grid column x a ColPanelLines panel (the
+	// GEMM B panel; the per-head K/V panel for attention). Panels live in
+	// a reserved stretch of the footprint between the scatter region and
+	// the per-CTA own regions.
+	RowPanelLines uint64
+	ColPanelLines uint64
+	// RowPanelFraction and ColPanelFraction of accesses stream the CTA's
+	// row and column panels.
+	RowPanelFraction float64
+	ColPanelFraction float64
+	// LinearInit marks workloads whose footprint is written by a linear
+	// streaming sweep before the first compute kernel — a matrix fill or
+	// QKV projection whose CTA j initializes the j-th contiguous slice of
+	// memory. Under first-touch placement that sweep, not the compute
+	// kernel, decides page homes: the simulator pre-binds every footprint
+	// page to the module the init sweep's CTA layout gives it. This is the
+	// init/access-layout mismatch that makes page-granularity first touch
+	// misplace tiled-GEMM panels (the pages of a B panel belong to the
+	// init sweep's linear chunks, not to the panel's consumers).
+	LinearInit bool
+
 	// WorkImbalance skews per-CTA work: CTA i executes MemOpsPerWarp scaled
 	// by a deterministic factor in [1-W, 1+W]. The paper observes two
 	// workloads whose unequal CTAs defeat coarse-grain distributed
@@ -154,18 +194,153 @@ func (s *Spec) Validate() error {
 		return fmt.Errorf("workload %s: KernelIters = %d", s.Name, s.KernelIters)
 	case s.LinesPerOp <= 0 || s.LinesPerOp > MaxLinesPerOp:
 		return fmt.Errorf("workload %s: LinesPerOp = %d (max %d)", s.Name, s.LinesPerOp, MaxLinesPerOp)
-	case s.FootprintLines < uint64(s.CTAs)+s.SharedLines+s.ScatterLines:
-		return fmt.Errorf("workload %s: footprint %d lines too small for %d CTAs + %d shared + %d scatter",
-			s.Name, s.FootprintLines, s.CTAs, s.SharedLines, s.ScatterLines)
+	case s.FootprintLines < uint64(s.CTAs)+s.SharedLines+s.ScatterLines+s.PanelLines():
+		return fmt.Errorf("workload %s: footprint %d lines too small for %d CTAs + %d shared + %d scatter + %d panel",
+			s.Name, s.FootprintLines, s.CTAs, s.SharedLines, s.ScatterLines, s.PanelLines())
 	case s.WriteFraction < 0 || s.WriteFraction > 1:
 		return fmt.Errorf("workload %s: WriteFraction = %v", s.Name, s.WriteFraction)
-	case s.SharedFraction+s.NeighborFraction+s.RandomFraction > 1:
+	case s.SharedFraction+s.NeighborFraction+s.RandomFraction+s.RowPanelFraction+s.ColPanelFraction > 1:
 		return fmt.Errorf("workload %s: fractions sum to %v > 1",
-			s.Name, s.SharedFraction+s.NeighborFraction+s.RandomFraction)
+			s.Name, s.SharedFraction+s.NeighborFraction+s.RandomFraction+s.RowPanelFraction+s.ColPanelFraction)
 	case s.WorkImbalance < 0 || s.WorkImbalance > 1:
 		return fmt.Errorf("workload %s: WorkImbalance = %v", s.Name, s.WorkImbalance)
+	case (s.GridW != 0) != (s.GridH != 0):
+		return fmt.Errorf("workload %s: grid %dx%d: set both dimensions or neither", s.Name, s.GridW, s.GridH)
+	case s.GridW < 0 || s.GridH < 0:
+		return fmt.Errorf("workload %s: negative grid %dx%d", s.Name, s.GridW, s.GridH)
+	case s.GridW > 0 && s.GridW*s.GridH != s.CTAs:
+		return fmt.Errorf("workload %s: grid %dx%d does not cover %d CTAs", s.Name, s.GridW, s.GridH, s.CTAs)
+	case (s.RowPanelLines > 0 || s.ColPanelLines > 0) && s.GridW == 0:
+		return fmt.Errorf("workload %s: panel lines need a 2-D grid", s.Name)
+	case s.RowPanelFraction < 0 || s.ColPanelFraction < 0:
+		return fmt.Errorf("workload %s: negative panel fraction", s.Name)
+	case s.RowPanelFraction > 0 && s.RowPanelLines == 0:
+		return fmt.Errorf("workload %s: RowPanelFraction %v with no row panel", s.Name, s.RowPanelFraction)
+	case s.ColPanelFraction > 0 && s.ColPanelLines == 0:
+		return fmt.Errorf("workload %s: ColPanelFraction %v with no column panel", s.Name, s.ColPanelFraction)
 	}
 	return nil
+}
+
+// PanelLines returns the total lines the row and column panels reserve.
+func (s *Spec) PanelLines() uint64 {
+	return uint64(s.GridH)*s.RowPanelLines + uint64(s.GridW)*s.ColPanelLines
+}
+
+// regionGeometry returns the line-address bases of the footprint layout —
+// [shared][scatter][row panels][col panels][per-CTA own regions] — and the
+// per-CTA own-region length. It is the single source of truth shared by the
+// stream generator, the access profile, and region-aware placement.
+func (s *Spec) regionGeometry() (rowBase, colBase, ownBase, perCTA uint64) {
+	rowBase = s.SharedLines + s.ScatterLines
+	colBase = rowBase + uint64(s.GridH)*s.RowPanelLines
+	ownBase = colBase + uint64(s.GridW)*s.ColPanelLines
+	perCTA = (s.FootprintLines - ownBase) / uint64(s.CTAs)
+	if perCTA == 0 {
+		perCTA = 1
+	}
+	return rowBase, colBase, ownBase, perCTA
+}
+
+// PanelWindows returns the candidate line span one kernel's CTAs can touch
+// within a row panel and a column panel: the warps' shared walk covers
+// WarpsPerCTA*MemOpsPerWarp positions (plus the multi-line spill), and the
+// GEMM k-loop skew staggers the walks of the CTAs along the panel, widening
+// the window by the stagger span. Both are capped at the panel size.
+func (s *Spec) PanelWindows() (row, col uint64) {
+	if s.GridW == 0 {
+		return 0, 0
+	}
+	cand := uint64(s.WarpsPerCTA*s.MemOpsPerWarp) + uint64(s.LinesPerOp-1)
+	row, col = minU64(cand, s.RowPanelLines), minU64(cand, s.ColPanelLines)
+	if s.Pattern == PatGEMM2D {
+		if s.GridW > 1 && s.RowPanelLines > 0 {
+			skew := uint64(s.GridW-1) * maxU64(1, s.RowPanelLines/uint64(s.GridW))
+			row = minU64(skew+cand, s.RowPanelLines)
+		}
+		if s.GridH > 1 && s.ColPanelLines > 0 {
+			skew := uint64(s.GridH-1) * maxU64(1, s.ColPanelLines/uint64(s.GridH))
+			col = minU64(skew+cand, s.ColPanelLines)
+		}
+	}
+	return row, col
+}
+
+func minU64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Regions exposes the footprint layout to other packages (the analytic
+// estimator reconstructs page homes from it): the row-panel, column-panel
+// and own-region base lines plus the per-CTA own-region length.
+func (s *Spec) Regions() (rowBase, colBase, ownBase, perCTA uint64) {
+	return s.regionGeometry()
+}
+
+// TileGrid returns the 2-D CTA grid and panel sizes the tiled scheduler
+// partitions; 1-D workloads return all zeros.
+func (s *Spec) TileGrid() (w, h int, rowPanel, colPanel uint64) {
+	return s.GridW, s.GridH, s.RowPanelLines, s.ColPanelLines
+}
+
+// RegionHome returns the module that region-aware placement homes the
+// page-sized block starting at the given line on, or -1 for blocks outside
+// the panel and own regions (shared and scatter data keep first-touch
+// semantics). module is the kernel's CTA→module layout.
+//
+// A panel is consumed by a whole grid row (or column) of CTAs, which may
+// span several modules; the home rotates deterministically across exactly
+// those modules, indexed by the panel number, so panel pages spread evenly
+// over their consumers instead of racing to a first toucher.
+func (s *Spec) RegionHome(line uint64, module func(cta int) int) int {
+	rowBase, colBase, ownBase, perCTA := s.regionGeometry()
+	switch {
+	case line < rowBase:
+		return -1
+	case line < colBase:
+		y := int((line - rowBase) / s.RowPanelLines)
+		return rotatedHome(y, s.GridW, func(x int) int { return module(y*s.GridW + x) })
+	case line < ownBase:
+		x := int((line - colBase) / s.ColPanelLines)
+		return rotatedHome(x, s.GridH, func(y int) int { return module(y*s.GridW + x) })
+	default:
+		cta := int((line - ownBase) / perCTA)
+		if cta >= s.CTAs {
+			cta = s.CTAs - 1 // leftover lines past the last even division
+		}
+		return module(cta)
+	}
+}
+
+// rotatedHome picks the (idx mod k)-th distinct module among the n CTAs the
+// probe enumerates, where k is the number of distinct modules seen.
+func rotatedHome(idx, n int, probe func(i int) int) int {
+	var seen [32]int
+	ns := 0
+	for i := 0; i < n; i++ {
+		m := probe(i)
+		if m < 0 {
+			continue
+		}
+		dup := false
+		for j := 0; j < ns; j++ {
+			if seen[j] == m {
+				dup = true
+				break
+			}
+		}
+		if !dup && ns < len(seen) {
+			seen[ns] = m
+			ns++
+		}
+	}
+	if ns == 0 {
+		return -1
+	}
+	return seen[idx%ns]
 }
 
 // OpsForCTA returns the per-warp memory operation count of one CTA,
@@ -232,8 +407,22 @@ func (s *Spec) Scaled(f float64) *Spec {
 		}
 		out.ScatterLines = sc
 	}
+	if s.RowPanelLines > 0 {
+		rp := uint64(float64(s.RowPanelLines)*f + 0.5)
+		if rp < 64 {
+			rp = 64
+		}
+		out.RowPanelLines = rp
+	}
+	if s.ColPanelLines > 0 {
+		cp := uint64(float64(s.ColPanelLines)*f + 0.5)
+		if cp < 64 {
+			cp = 64
+		}
+		out.ColPanelLines = cp
+	}
 	fp := uint64(float64(s.FootprintLines)*f + 0.5)
-	min := uint64(s.CTAs)*2 + out.SharedLines + out.ScatterLines
+	min := uint64(s.CTAs)*2 + out.SharedLines + out.ScatterLines + out.PanelLines()
 	if fp < min {
 		fp = min
 	}

@@ -87,8 +87,10 @@ const (
 const (
 	SchedCentralized = config.SchedCentralized
 	SchedDistributed = config.SchedDistributed
+	SchedTiled2D     = config.SchedTiled2D
 	PlaceInterleave  = config.PlaceInterleave
 	PlaceFirstTouch  = config.PlaceFirstTouch
+	PlaceRegionAware = config.PlaceRegionAware
 	AllocAll         = config.AllocAll
 	AllocRemoteOnly  = config.AllocRemoteOnly
 )
@@ -113,6 +115,9 @@ var (
 	OptimizedMCM = config.OptimizedMCM
 	// OptimizedMCM16 is the optimized design with the 16 MB L1.5 split.
 	OptimizedMCM16 = config.OptimizedMCM16
+	// TiledRegionMCM is the optimized transistor budget re-paired for
+	// dense 2-D workloads: tiled 2-D scheduling + region-aware placement.
+	TiledRegionMCM = config.TiledRegionMCM
 	// MCMWithLink is the baseline with a custom inter-GPM link bandwidth.
 	MCMWithLink = config.MCMWithLink
 	// Monolithic is a single-die GPU with the given SM count; counts that
@@ -142,6 +147,9 @@ var (
 	CIntensiveWorkloads = workload.CIntensive
 	// LimitedWorkloads returns the 15 limited-parallelism applications.
 	LimitedWorkloads = workload.Limited
+	// DenseWorkloads returns the dense-linear-algebra extension pair
+	// (tiled GEMM, flash attention) kept outside the 48-app suite.
+	DenseWorkloads = workload.Dense
 )
 
 // MustWorkload returns the named workload or panics; convenient in examples

@@ -164,7 +164,7 @@ func TestExperimentsRegistryComplete(t *testing.T) {
 		"table1", "table2", "table3", "table4", "analytic",
 		"fig2", "fig4", "fig6", "fig7", "fig9", "fig10",
 		"fig13", "fig14", "fig15", "fig16", "fig17", "headline",
-		"gpmscale", "energy",
+		"gpmscale", "energy", "tension",
 	}
 	for _, id := range want {
 		if _, ok := drivers[id]; !ok {
